@@ -1,0 +1,35 @@
+"""Figure 2 — the density-study summary scatter.
+
+Paper: relative difference in final CPU reservation level (y) vs
+relative customer capacity moved due to failovers (x), with circle
+size showing relative "adjusted" revenue, for 110/120/140% vs 100%.
+
+Expected shape: CPU reservation rises with density; capacity moved
+explodes at 140%; adjusted revenue peaks at 120% and falls at 140%.
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_fig02_density_summary(benchmark, density_study):
+    rows = benchmark(density_study.figure2_rows)
+    emit("Figure 2 — density vs QoS vs adjusted revenue",
+         density_study.format_figure2())
+
+    by_pct = {row["density_pct"]: row for row in rows}
+    # CPU reservation level increases with density over the baseline.
+    assert by_pct[110]["rel_cpu_reservation"] > 0
+    assert by_pct[140]["rel_cpu_reservation"] > \
+        by_pct[110]["rel_cpu_reservation"]
+    # 140% moves the most customer capacity.
+    assert by_pct[140]["rel_capacity_moved"] >= \
+        max(by_pct[110]["rel_capacity_moved"],
+            by_pct[120]["rel_capacity_moved"])
+    # Adjusted revenue at 140% is below 120% (the paper's takeaway).
+    assert by_pct[140]["rel_adjusted_revenue"] < \
+        by_pct[120]["rel_adjusted_revenue"]
+
+    benchmark.extra_info["rows"] = {
+        pct: {key: round(value, 4) for key, value in row.items()
+              if key != "density_pct"}
+        for pct, row in by_pct.items()}

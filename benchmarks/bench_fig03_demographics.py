@@ -1,0 +1,37 @@
+"""Figure 3 — regional demographics and database utilization.
+
+(a) daily local-store DB fraction per cluster for two regions over a
+week: Region 2 has a significantly larger local-store share.
+(b) average CPU/memory utilization of non-idle databases over 12h:
+"a large proportion of databases have low CPU and memory utilization".
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_fig03a_local_store_fractions(benchmark, demographics_study):
+    boxes = benchmark(demographics_study.figure3a_boxes, 7)
+    emit("Figure 3a/3b — demographics",
+         demographics_study.format_report())
+
+    region_one = boxes["region-1"]
+    region_two = boxes["region-2"]
+    # Region 2's local-store share is clearly above Region 1's.
+    assert region_two.mean > region_one.mean
+    assert region_two.q1 > region_one.q3
+
+    benchmark.extra_info["region1_mean_pct"] = round(
+        100 * region_one.mean, 2)
+    benchmark.extra_info["region2_mean_pct"] = round(
+        100 * region_two.mean, 2)
+
+
+def test_fig03b_utilization_scatter(benchmark, demographics_study):
+    summary = benchmark(demographics_study.figure3b_summary)
+    # Most non-idle databases sit at low CPU utilization.
+    assert summary["low_cpu_fraction"] > 0.6
+    assert summary["cpu_mean"] < 30.0
+    # Memory runs higher than CPU but stays moderate.
+    assert summary["cpu_mean"] < summary["memory_mean"] < 70.0
+    benchmark.extra_info.update(
+        {key: round(value, 2) for key, value in summary.items()})

@@ -1,0 +1,33 @@
+"""Figure 7 — K-S normality p-values of the hourly training sets.
+
+The paper could not reject normality (alpha = 0.05) for nearly every
+hourly training set — the justification for the "hourly normal"
+model family.
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_fig07_ks_normality(benchmark, validation_study):
+    p_values = benchmark(validation_study.figure7_pvalues)
+    rejection_rate = validation_study.figure7_rejection_rate()
+
+    lines = []
+    for (edition, kind, daytype), values in p_values.items():
+        if values:
+            passing = sum(1 for p in values if p > 0.05)
+            lines.append(f"{edition.short_name} {kind:>6} {daytype:>7}: "
+                         f"{passing}/{len(values)} hours pass, "
+                         f"min p={min(values):.3f}")
+    emit("Figure 7 — K-S normality screening "
+         f"(overall rejection rate {rejection_rate:.1%})",
+         "\n".join(lines))
+
+    # The vast majority of hourly sets must be consistent with
+    # normality, as in the paper.
+    assert rejection_rate < 0.20
+    # Every (edition, kind, daytype) panel produced p-values.
+    assert len(p_values) == 8
+    assert all(values for values in p_values.values())
+
+    benchmark.extra_info["rejection_rate"] = round(rejection_rate, 4)

@@ -1,0 +1,41 @@
+"""Figure 8 — 100-run validation of the Create/Drop models.
+
+"Our 'hourly normal' model was able to imitate the create and drop
+production trace closely. [...] The mean of the 100 modeled curves
+nearly overlapped with the production curve."
+"""
+
+import numpy as np
+
+from repro.sqldb.editions import Edition
+from benchmarks.conftest import emit
+
+
+def test_fig08_create_drop_validation(benchmark, validation_study):
+    validation = benchmark.pedantic(
+        validation_study.figure8_validation,
+        args=(Edition.STANDARD_GP, 100), rounds=1, iterations=1)
+
+    daily_production = validation.production_net.reshape(-1, 24).sum(axis=1)
+    daily_model = validation.mean_net.reshape(-1, 24).sum(axis=1)
+    rows = "\n".join(
+        f"day {day}: production net={int(p):+4d}  model mean net={m:+7.1f}"
+        for day, (p, m) in enumerate(zip(daily_production, daily_model)))
+    emit("Figure 8 — net creates per day, production vs 100-run mean",
+         rows)
+
+    # The mean simulated curve nearly overlaps production.
+    assert validation.relative_daily_error() < 0.05
+    # Hourly RMSE of the mean curve is below the production trace's own
+    # hour-to-hour variability.
+    assert validation.creates_rmse() < float(
+        np.std(validation.production_creates))
+    assert validation.drops_rmse() < float(
+        np.std(validation.production_drops))
+    assert validation.simulated_creates.shape[0] == 100
+
+    benchmark.extra_info["relative_daily_error"] = round(
+        validation.relative_daily_error(), 5)
+    benchmark.extra_info["creates_rmse"] = round(
+        validation.creates_rmse(), 3)
+    benchmark.extra_info["drops_rmse"] = round(validation.drops_rmse(), 3)

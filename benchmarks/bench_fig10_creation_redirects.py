@@ -1,0 +1,43 @@
+"""Figure 10 — creation attempts redirected per density level.
+
+Paper: the first redirect occurs at hour 23 (100%), hour 28 (110%),
+hour 55 (120%), and never at 140%; and the 110% run *crosses* the
+100% run — a large database the 100% cluster redirected was admitted
+at 110%, eating its headroom, so 110% ends with more redirects.
+
+Absolute hours differ on our synthetic substrate; the ordering and
+the 140%-stays-clean shape must hold, and the 110/100 crossover is
+asserted in its weak form (final counts comparable or crossed).
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_fig10_creation_redirects(benchmark, density_study):
+    series = benchmark(density_study.figure10_series)
+    emit("Figure 10 — cumulative creation redirects",
+         density_study.format_figure10())
+
+    firsts = {pct: density_study.result(pct / 100.0).first_redirect_hour()
+              for pct in (100, 110, 120, 140)}
+
+    # First-redirect ordering: lower density redirects earlier.
+    assert firsts[100] is not None
+    assert firsts[110] is None or firsts[100] <= firsts[110]
+    assert firsts[120] is None or \
+        (firsts[110] is not None and firsts[110] <= firsts[120])
+    # 140% redirects least — well under half the baseline's count (the
+    # paper's 140% run is fully clean; our synthetic substrate sees a
+    # late trickle of placement-infeasible large requests).
+    final = {pct: values[-1] for pct, values in series.items()}
+    assert final[140] == min(final.values())
+    assert final[140] <= 0.5 * final[100]
+    # Redirect pressure decreases with density at the end of the run.
+    assert final[100] >= final[120] >= final[140]
+    # The 110% run ends with at least as many redirects as 100% (the
+    # paper's crossover: 110% admitted a large database that 100%
+    # redirected, and paid for it later).
+    assert final[110] >= final[100] - 5
+
+    benchmark.extra_info["first_redirect_hour"] = firsts
+    benchmark.extra_info["final_redirects"] = final

@@ -1,0 +1,39 @@
+"""Figure 11 — reserved cores vs disk usage over the six days.
+
+Paper: each point is an hour; higher densities reserve more cores; the
+120/140% runs show visibly higher disk than 100/110% (driven by big
+local-store databases that the low-density runs redirected); outliers
+correspond to cluster maintenance upgrades.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+
+
+def test_fig11_cores_vs_disk(benchmark, density_study):
+    points = benchmark(density_study.figure11_points)
+    emit("Figure 11 — reserved cores vs disk usage (hourly)",
+         density_study.format_figure11())
+
+    def final_median(pct, index):
+        tail = points[pct][-24:]
+        return float(np.median([p[index] for p in tail]))
+
+    # Reserved cores increase with density.
+    cores = {pct: final_median(pct, 0) for pct in (100, 110, 120, 140)}
+    assert cores[100] < cores[110] < cores[120] < cores[140]
+
+    # Disk: the high-density runs carry clearly more disk than 100%.
+    disk = {pct: final_median(pct, 1) for pct in (100, 110, 120, 140)}
+    assert disk[140] > disk[100]
+    assert disk[120] > disk[100]
+
+    # Every series is hourly over the full horizon.
+    lengths = {len(values) for values in points.values()}
+    assert len(lengths) == 1
+
+    benchmark.extra_info["final_cores"] = {k: round(v) for k, v
+                                           in cores.items()}
+    benchmark.extra_info["final_disk_gb"] = {k: round(v) for k, v
+                                             in disk.items()}

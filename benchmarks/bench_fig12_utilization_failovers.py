@@ -1,0 +1,51 @@
+"""Figure 12 — (a) relative utilization and (b) failed-over cores.
+
+Paper: (a) the 140% experiment accommodates almost 30% more reserved
+cores than 100%; (b) 140% fails over the most cores — more Premium/BC
+cores than the total of the other experiments — while 100-120% stay
+comparatively low (120% was their lowest).
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_fig12a_relative_utilization(benchmark, density_study):
+    rows = benchmark(density_study.figure12a_rows)
+    emit("Figure 12 — utilization and failed-over cores",
+         density_study.format_figure12())
+
+    by_pct = {row["density_pct"]: row for row in rows}
+    # Reserved-core utilization rises with density; 140% lands in the
+    # +20-35% band around the paper's ~+30%.
+    assert by_pct[110]["rel_cores"] > 1.0
+    assert by_pct[140]["rel_cores"] > by_pct[120]["rel_cores"] \
+        > by_pct[110]["rel_cores"]
+    assert 1.15 < by_pct[140]["rel_cores"] < 1.40
+    # Disk rises with density too.
+    assert by_pct[140]["rel_disk"] > 1.0
+    benchmark.extra_info["rel_cores_140"] = round(
+        by_pct[140]["rel_cores"], 3)
+
+
+def test_fig12b_failed_over_cores(benchmark, density_study):
+    rows = benchmark(density_study.figure12b_rows)
+    by_pct = {row["density_pct"]: row for row in rows}
+
+    total_140 = by_pct[140]["total_cores_moved"]
+    total_others = sum(by_pct[pct]["total_cores_moved"]
+                       for pct in (100, 110, 120))
+    # 140% is the worst offender by a wide margin...
+    assert total_140 == max(row["total_cores_moved"] for row in rows)
+    assert total_140 > 0.6 * total_others
+    # ...and moves the most Premium/BC capacity.
+    assert by_pct[140]["bc_cores_moved"] == max(
+        row["bc_cores_moved"] for row in rows)
+    # The baseline barely fails over.
+    assert by_pct[100]["total_cores_moved"] < 0.5 * total_140
+
+    benchmark.extra_info["failed_over_cores"] = {
+        pct: round(by_pct[pct]["total_cores_moved"])
+        for pct in (100, 110, 120, 140)}
+    benchmark.extra_info["bc_cores"] = {
+        pct: round(by_pct[pct]["bc_cores_moved"])
+        for pct in (100, 110, 120, 140)}

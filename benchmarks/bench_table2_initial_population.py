@@ -1,0 +1,24 @@
+"""Table 2 — the initial population.
+
+Paper: 33 Premium/BC + 187 Standard/GP = 220 databases, bootstrapped
+identically before every density experiment.
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_table2_initial_population(benchmark, density_study):
+    table2 = benchmark(density_study.table2_row)
+    emit("Table 2 — initial population", density_study.format_tables())
+
+    assert table2["premium_bc"] == 33
+    assert table2["standard_gp"] == 187
+    assert table2["total"] == 220
+
+    # Identical across every density (same bootstrap seed).
+    for density in density_study.densities:
+        first = density_study.result(density).frames[0]
+        assert first.active_bc == 33
+        assert first.active_gp == 187
+
+    benchmark.extra_info.update(table2)

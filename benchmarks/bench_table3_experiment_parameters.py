@@ -1,0 +1,31 @@
+"""Table 3 — experiment parameters after bootstrap.
+
+Paper: the initial population and its 77% disk utilization are held
+constant while the free remaining logical cores grow with the density
+level (65 / 158 / 224 / 326 at 100/110/120/140%).
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_table3_experiment_parameters(benchmark, density_study):
+    rows = benchmark(density_study.table3_rows)
+    emit("Table 3 — experiment parameters", density_study.format_tables())
+
+    by_pct = {row["density_pct"]: row for row in rows}
+    # Free remaining cores strictly increase with the density level.
+    free = [by_pct[pct]["free_remaining_cores"]
+            for pct in (100, 110, 120, 140)]
+    assert free == sorted(free)
+    assert free[0] < free[-1]
+    # Each +10% density adds roughly one node-worth of logical cores
+    # (the paper's 65 -> 158 -> 224 -> 326 progression).
+    assert 60 <= free[1] - free[0] <= 140
+    # Disk utilization is identical (77% target) across densities.
+    disk = {by_pct[pct]["disk_usage_pct"] for pct in (100, 110, 120, 140)}
+    assert len(disk) == 1
+    assert disk.pop() == 77
+
+    benchmark.extra_info["free_remaining_cores"] = {
+        pct: by_pct[pct]["free_remaining_cores"]
+        for pct in (100, 110, 120, 140)}

@@ -1,0 +1,54 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The expensive artifacts — the four 6-day density runs (§5.2), the
+three 18-hour repeatability runs (§5.3.4), and the trained/validated
+models (§4) — are session-scoped so every figure benchmark reads from
+one sweep, exactly as the paper derives all of Figures 2/10/11/12/14
+from the same four experiments.
+
+Set ``TOTO_BENCH_DAYS`` (default 6) to shorten the density runs while
+iterating; the crossover behaviours need 3+ days to appear.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.demographics import DemographicsStudy
+from repro.experiments.density import DensityStudy
+from repro.experiments.model_validation import ModelValidationStudy
+from repro.experiments.nondeterminism import NondeterminismStudy
+
+BENCH_DAYS = float(os.environ.get("TOTO_BENCH_DAYS", "6"))
+BENCH_SEED = int(os.environ.get("TOTO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def density_study() -> DensityStudy:
+    study = DensityStudy(days=BENCH_DAYS, seed=BENCH_SEED,
+                         maintenance=True)
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def validation_study() -> ModelValidationStudy:
+    return ModelValidationStudy()
+
+
+@pytest.fixture(scope="session")
+def demographics_study() -> DemographicsStudy:
+    return DemographicsStudy(seed=7)
+
+
+@pytest.fixture(scope="session")
+def nondeterminism_study() -> NondeterminismStudy:
+    study = NondeterminismStudy(repeats=3, hours=18.0, seed=BENCH_SEED)
+    study.run()
+    return study
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure's regenerated series (visible with ``-s`` or in
+    captured output on failure)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's §5 density study, end to end.
+
+Runs the four density levels (100/110/120/140%) back-to-back on
+identical scenarios and prints the series behind Figures 2, 10, 11,
+12, 14 and Tables 2-3.
+
+The paper's runs are 6 days; pass ``--days`` to shorten while
+exploring (the crossovers need 3+ days to appear)::
+
+    python examples/density_study.py --days 2
+    python examples/density_study.py              # full 6-day study
+"""
+
+import argparse
+
+from repro.experiments.density import DensityStudy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=6.0,
+                        help="simulated days per density level")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="scenario seed (Population Manager etc.)")
+    args = parser.parse_args()
+
+    study = DensityStudy(days=args.days, seed=args.seed)
+    print(f"running {len(study.densities)} experiments x "
+          f"{args.days:g} simulated days ...\n")
+    study.run()
+
+    print(study.format_tables())
+    print()
+    print(study.format_figure10())
+    print()
+    print(study.format_figure11())
+    print()
+    print(study.format_figure12())
+    print()
+    print(study.format_figure14())
+    print()
+    print(study.format_figure2())
+
+
+if __name__ == "__main__":
+    main()

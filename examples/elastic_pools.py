@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Elastic pools: the §5.5 population extension.
+
+Provisions two pools on a ring, packs member databases into them,
+moves a member between pools, and shows how membership changes flow
+through the Toto-governed disk metric to the orchestrator.
+
+Run with::
+
+    python examples/elastic_pools.py
+"""
+
+from repro.core.model_base import TotoModelSet
+from repro.core.disk_models import DiskUsageModel
+from repro.core.hourly_schedule import HourlyNormalSchedule
+from repro.core.selectors import ALL_PREMIUM_BC
+from repro.fabric.metrics import DISK_GB
+from repro.rng import RngRegistry
+from repro.simkernel import SimulationKernel
+from repro.sqldb.elastic_pool import ElasticPoolManager
+from repro.sqldb.tenant_ring import TenantRing, TenantRingConfig
+from repro.units import MINUTE
+
+
+def main() -> None:
+    kernel = SimulationKernel()
+    ring = TenantRing(kernel, TenantRingConfig(node_count=6),
+                      RngRegistry(7))
+    model = DiskUsageModel(selector=ALL_PREMIUM_BC,
+                           steady=HourlyNormalSchedule.constant(0.02, 0.01),
+                           persisted=True, rate_heterogeneity=0.0)
+    for rgmanager in ring.rgmanagers:
+        rgmanager.install_models(TotoModelSet([model]), 1)
+    ring.start()
+
+    pools = ElasticPoolManager(ring.control_plane)
+    saas = pools.create_pool("BC_Gen5_8", now=kernel.now)
+    archive = pools.create_pool("BC_Gen5_4", now=kernel.now)
+    print(f"created pools {saas.pool_id} (BC_Gen5_8) and "
+          f"{archive.pool_id} (BC_Gen5_4)")
+
+    kernel.run_until(10 * MINUTE)
+    for name, size in (("tenant-a", 120.0), ("tenant-b", 45.0),
+                       ("tenant-c", 210.0)):
+        pools.add_member(saas.pool_id, name, size, now=kernel.now)
+    print(f"packed {len(saas.active_members)} tenants "
+          f"({saas.member_data_gb:.0f} GB) into {saas.pool_id}")
+
+    kernel.run_until(kernel.now + 10 * MINUTE)
+    primary = ring.cluster.service(saas.pool_id).primary
+    print(f"pool disk reported to the PLB: "
+          f"{primary.load(DISK_GB):.0f} GB")
+
+    pools.move_member(saas.pool_id, archive.pool_id, "tenant-c",
+                      now=kernel.now)
+    kernel.run_until(kernel.now + 10 * MINUTE)
+    print(f"after moving tenant-c to {archive.pool_id}:")
+    for pool in (saas, archive):
+        primary = ring.cluster.service(pool.pool_id).primary
+        print(f"  {pool.pool_id}: members={len(pool.active_members)} "
+              f"disk={primary.load(DISK_GB):.0f} GB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one stage ring for 12 simulated hours.
+
+Trains behaviour models on synthetic region telemetry, bootstraps the
+paper's Table 2 population into a 14-node gen5 ring at 110% density,
+runs Toto for 12 hours, and prints the headline KPIs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.runner import run_scenario
+from repro.experiments.scenarios import paper_scenario
+from repro.units import format_duration
+
+
+def main() -> None:
+    scenario = paper_scenario(density=1.1, days=0.5, maintenance=False)
+    print(f"scenario: {scenario.name}, duration "
+          f"{format_duration(scenario.duration)}, "
+          f"{scenario.ring.node_count} nodes @ "
+          f"{scenario.ring.density:.0%} density")
+
+    result = run_scenario(scenario)
+
+    kpis = result.kpis
+    print(f"\nbootstrap: {result.frames[0].active_total} databases, "
+          f"{result.bootstrap_free_cores:.0f} free cores, "
+          f"{result.bootstrap_disk_utilization:.0%} disk")
+    print(f"final reserved cores : {kpis.final_reserved_cores:.0f} "
+          f"({kpis.core_utilization:.1%} of logical capacity)")
+    print(f"final disk usage     : {kpis.final_disk_gb:,.0f} GB "
+          f"({kpis.disk_utilization:.1%})")
+    print(f"creation redirects   : {kpis.creation_redirects}")
+    print(f"capacity failovers   : {kpis.failovers.count} "
+          f"({kpis.failovers.total_cores_moved:.0f} cores moved)")
+    print(f"adjusted revenue     : ${result.revenue.total_adjusted:,.2f} "
+          f"(penalty ${result.revenue.total_penalty:,.2f})")
+
+    print("\nhourly reserved cores:")
+    for frame in result.frames:
+        bar = "#" * int(frame.core_utilization * 60)
+        print(f"  h{frame.hour_index:<3d} {frame.reserved_cores:7.0f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — a reproduction of *Toto: Benchmarking the Efficiency of a
+Cloud Service* (Moeller, Ye, Lin, Lang; SIGMOD 2021).
+
+Toto benchmarks the *efficiency* of an orchestrated cloud service by
+hijacking the resource-metric channel between application instances
+and the cluster orchestrator, replaying production-trained behaviour
+models instead of real utilization. This package implements the whole
+stack in Python: a Service-Fabric-like orchestrator substrate, an
+Azure-SQL-DB-like service substrate, Toto's orchestrator + Population
+Manager, the statistical model-training framework, and the full
+density-study evaluation.
+
+Quickstart::
+
+    from repro import run_scenario
+    from repro.experiments.scenarios import paper_scenario
+
+    result = run_scenario(paper_scenario(density=1.2, days=1))
+    print(result.kpis)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+per-figure reproduction record.
+"""
+
+from repro.core import (
+    BenchmarkResult,
+    BenchmarkRunner,
+    BenchmarkScenario,
+    PopulationManager,
+    TotoModelDocument,
+    TotoOrchestrator,
+    run_scenario,
+)
+from repro.errors import ReproError
+from repro.rng import RngRegistry
+from repro.simkernel import SimulationKernel
+from repro.sqldb import Edition, TenantRing, TenantRingConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkResult",
+    "BenchmarkRunner",
+    "BenchmarkScenario",
+    "Edition",
+    "PopulationManager",
+    "ReproError",
+    "RngRegistry",
+    "SimulationKernel",
+    "TenantRing",
+    "TenantRingConfig",
+    "TotoModelDocument",
+    "TotoOrchestrator",
+    "__version__",
+    "run_scenario",
+]

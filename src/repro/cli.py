@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Exposes the benchmark framework the way an operator would use it::
+
+    python -m repro density-study --days 2
+    python -m repro quickstart --density 120 --hours 12
+    python -m repro train --out models.xml
+    python -m repro validate
+    python -m repro repeatability --repeats 3 --hours 18
+    python -m repro incident --slo BC_Gen5_6 --growth-gb 1300 --density 140
+
+Every subcommand prints the same plain-text tables the benchmark
+harness emits, so CLI runs and ``pytest benchmarks/`` agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.runner import run_scenario
+from repro.core.scenario import ScriptedCreate
+from repro.experiments.demographics import DemographicsStudy
+from repro.experiments.density import DensityStudy
+from repro.experiments.model_validation import ModelValidationStudy
+from repro.experiments.nondeterminism import NondeterminismStudy
+from repro.experiments.scenarios import paper_scenario, trained_artifacts
+from repro.core.model_xml import serialize_model_xml
+from repro.units import HOUR, format_duration
+
+
+def _parse_densities(raw: str) -> tuple:
+    densities = tuple(sorted(int(token) / 100.0
+                             for token in raw.split(",")))
+    if 1.0 not in densities:
+        densities = tuple(sorted((1.0,) + densities))
+    return densities
+
+
+def cmd_density_study(args: argparse.Namespace) -> int:
+    study = DensityStudy(densities=_parse_densities(args.densities),
+                         days=args.days, seed=args.seed,
+                         maintenance=not args.no_maintenance)
+    print(f"running {len(study.densities)} experiments x "
+          f"{args.days:g} simulated days (seed {args.seed}) ...")
+    study.run()
+    for section in (study.format_tables(), study.format_figure10(),
+                    study.format_figure12(), study.format_figure14(),
+                    study.format_figure2()):
+        print()
+        print(section)
+    return 0
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    scenario = paper_scenario(density=args.density / 100.0,
+                              days=args.hours / 24.0,
+                              seed=args.seed, maintenance=False)
+    print(f"running {scenario.name} for "
+          f"{format_duration(scenario.duration)} ...")
+    result = run_scenario(scenario)
+    kpis = result.kpis
+    print(f"reserved cores : {kpis.final_reserved_cores:.0f} "
+          f"({kpis.core_utilization:.1%})")
+    print(f"disk usage     : {kpis.final_disk_gb:,.0f} GB "
+          f"({kpis.disk_utilization:.1%})")
+    print(f"redirects      : {kpis.creation_redirects}")
+    print(f"failovers      : {kpis.failovers.count} "
+          f"({kpis.failovers.total_cores_moved:.0f} cores)")
+    print(f"adjusted rev.  : ${result.revenue.total_adjusted:,.2f} "
+          f"(penalty ${result.revenue.total_penalty:,.2f})")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    artifacts = trained_artifacts(training_seed=args.seed,
+                                  training_days=args.days,
+                                  disk_corpus_size=args.corpus)
+    xml = serialize_model_xml(artifacts.document)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(f"wrote {len(xml):,} bytes of model XML to {args.out}")
+    else:
+        print(xml)
+    for edition, dataset in artifacts.datasets.items():
+        print(f"# {edition.value}: steady={dataset.steady_fraction:.2%} "
+              f"initial_p={dataset.initial_probability:.3f} "
+              f"rapid_p={dataset.rapid_probability:.3f}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    study = ModelValidationStudy(training_seed=args.seed)
+    print(study.format_report())
+    # Training-quality diagnostics for every event trace.
+    from repro.models.diagnostics import diagnose_trace
+    print("\ntraining diagnostics:")
+    for (edition, kind), trace in study.artifacts.event_traces.items():
+        diagnostics = diagnose_trace(trace)
+        flag = "ok" if diagnostics.healthy() else "CHECK"
+        print(f"  {edition.short_name} {kind:>6}: "
+              f"{diagnostics.summary()}  [{flag}]")
+    return 0
+
+
+def cmd_demographics(args: argparse.Namespace) -> int:
+    print(DemographicsStudy(seed=args.seed).format_report())
+    return 0
+
+
+def cmd_repeatability(args: argparse.Namespace) -> int:
+    study = NondeterminismStudy(repeats=args.repeats, hours=args.hours,
+                                seed=args.seed)
+    print(f"running {args.repeats} identical {args.hours:g}h experiments "
+          "(only the PLB seed differs) ...")
+    print(study.format_report())
+    return 0
+
+
+def cmd_incident(args: argparse.Namespace) -> int:
+    incident = ScriptedCreate(
+        at_offset=int(args.at_hour * HOUR),
+        slo_name=args.slo,
+        initial_data_gb=args.data_gb,
+        high_initial_growth=args.growth_gb > 0,
+        initial_growth_total_gb=args.growth_gb,
+        rapid_growth=args.rapid,
+    )
+    base = paper_scenario(density=args.density / 100.0, days=args.days,
+                          seed=args.seed, maintenance=False)
+    scenario = dataclasses.replace(base, name=base.name + "-incident",
+                                   scripted_creates=(incident,))
+    print(f"replaying {args.slo} (+{args.growth_gb:g} GB growth) at "
+          f"h{args.at_hour:g}, {args.density}% density ...")
+    result = run_scenario(scenario)
+    admitted = [db for db in result.databases
+                if db.initial_growth_total_gb == args.growth_gb
+                and not db.from_bootstrap
+                and db.slo.name == args.slo]
+    print("incident " + ("ADMITTED" if admitted else "REDIRECTED"))
+    kpis = result.kpis
+    print(f"final disk {kpis.final_disk_gb:,.0f} GB "
+          f"({kpis.disk_utilization:.1%}), "
+          f"{kpis.failovers.count} failovers, "
+          f"penalty ${result.revenue.total_penalty:,.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Toto cloud-service efficiency benchmark (SIGMOD'21 "
+                    "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    density = sub.add_parser("density-study",
+                             help="the §5 density sweep")
+    density.add_argument("--days", type=float, default=6.0)
+    density.add_argument("--seed", type=int, default=42)
+    density.add_argument("--densities", default="100,110,120,140",
+                         help="comma-separated percentages")
+    density.add_argument("--no-maintenance", action="store_true")
+    density.set_defaults(func=cmd_density_study)
+
+    quick = sub.add_parser("quickstart", help="one short benchmark run")
+    quick.add_argument("--density", type=float, default=110.0)
+    quick.add_argument("--hours", type=float, default=12.0)
+    quick.add_argument("--seed", type=int, default=42)
+    quick.set_defaults(func=cmd_quickstart)
+
+    train = sub.add_parser("train",
+                           help="train models, emit the XML blob")
+    train.add_argument("--seed", type=int, default=20210620)
+    train.add_argument("--days", type=int, default=14)
+    train.add_argument("--corpus", type=int, default=1200)
+    train.add_argument("--out", default=None,
+                       help="file to write the XML to (default: stdout)")
+    train.set_defaults(func=cmd_train)
+
+    validate = sub.add_parser("validate",
+                              help="Figures 7-9 model validation")
+    validate.add_argument("--seed", type=int, default=20210620)
+    validate.set_defaults(func=cmd_validate)
+
+    demo = sub.add_parser("demographics",
+                          help="Figures 3a/3b/6 telemetry views")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=cmd_demographics)
+
+    repeat = sub.add_parser("repeatability",
+                            help="the §5.3.4 PLB non-determinism study")
+    repeat.add_argument("--repeats", type=int, default=3)
+    repeat.add_argument("--hours", type=float, default=18.0)
+    repeat.add_argument("--seed", type=int, default=42)
+    repeat.set_defaults(func=cmd_repeatability)
+
+    incident = sub.add_parser("incident",
+                              help="replay a production incident")
+    incident.add_argument("--slo", default="BC_Gen5_6")
+    incident.add_argument("--data-gb", type=float, default=50.0)
+    incident.add_argument("--growth-gb", type=float, default=1300.0)
+    incident.add_argument("--at-hour", type=float, default=30.0)
+    incident.add_argument("--density", type=float, default=140.0)
+    incident.add_argument("--days", type=float, default=2.0)
+    incident.add_argument("--seed", type=int, default=42)
+    incident.add_argument("--rapid", action="store_true")
+    incident.set_defaults(func=cmd_incident)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Toto — the paper's primary contribution.
+
+Two cooperating components (paper §3.3):
+
+* the **orchestrator** (:mod:`repro.core.orchestrator`) — injects
+  behaviour models into every node's RgManager by writing a serialized
+  model XML blob into the Naming Service; RgManagers re-read it every
+  15 minutes and answer metric-report RPCs by *sampling the models*
+  instead of returning real utilization;
+* the **Population Manager** (:mod:`repro.core.population_manager`) —
+  a stateless daemon that wakes at the top of each hour, samples the
+  Create-DB/Drop-DB models, and schedules control-plane CRUD calls for
+  the next hour.
+
+Model implementations live beside them: hourly-normal create/drop
+rates (§4.1), the steady-state / initial-creation / predictable-rapid
+disk growth patterns (§4.2), and the memory/CPU models the paper lists
+as future work (§5.5). Scenarios are declared with
+:class:`repro.core.scenario.BenchmarkScenario` and executed by
+:class:`repro.core.runner.BenchmarkRunner`.
+"""
+
+from repro.core.create_drop import CreateDropModel
+from repro.core.disk_models import (
+    DiskUsageModel,
+    InitialGrowthSpec,
+    RapidGrowthSpec,
+)
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.core.model_base import (
+    BinnedUniform,
+    ModelContext,
+    ResourceModel,
+    TotoModelSet,
+)
+from repro.core.model_xml import (
+    TotoModelDocument,
+    parse_model_xml,
+    serialize_model_xml,
+)
+from repro.core.memory_model import MemoryUsageModel
+from repro.core.cpu_model import CpuUsageModel
+from repro.core.orchestrator import MODEL_XML_KEY, TotoOrchestrator
+from repro.core.population_manager import CreateRequest, PopulationManager
+from repro.core.population_models import (
+    InitialDataSpec,
+    PopulationModels,
+    SloMix,
+)
+from repro.core.runner import BenchmarkResult, BenchmarkRunner, run_scenario
+from repro.core.scenario import BenchmarkScenario, ScriptedCreate
+from repro.core.selectors import DatabaseSelector
+
+__all__ = [
+    "BenchmarkResult",
+    "BenchmarkRunner",
+    "BenchmarkScenario",
+    "BinnedUniform",
+    "CpuUsageModel",
+    "CreateDropModel",
+    "CreateRequest",
+    "DatabaseSelector",
+    "DayType",
+    "DiskUsageModel",
+    "HourlyNormalSchedule",
+    "InitialDataSpec",
+    "InitialGrowthSpec",
+    "MODEL_XML_KEY",
+    "MemoryUsageModel",
+    "ModelContext",
+    "PopulationManager",
+    "PopulationModels",
+    "RapidGrowthSpec",
+    "ResourceModel",
+    "ScriptedCreate",
+    "SloMix",
+    "TotoModelDocument",
+    "TotoOrchestrator",
+    "TotoModelSet",
+    "parse_model_xml",
+    "run_scenario",
+    "serialize_model_xml",
+]

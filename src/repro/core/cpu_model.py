@@ -1,0 +1,57 @@
+"""CPU-usage model (paper §5.5 future work).
+
+CPU *reservations* (the SLO core count) are what the density experiment
+governs; CPU *usage* is listed as future modeling work. We implement an
+hourly-normal utilization model — most cloud databases idle at low
+utilization with business-hour peaks (paper Figure 3b) — reporting
+used cores as ``utilization x SLO cores``. Like memory, CPU usage is
+non-persisted: it resets when a replica moves.
+
+The model reports under a dedicated advisory metric name so it never
+interferes with the reservation metric the PLB enforces.
+"""
+
+from __future__ import annotations
+
+from repro.core.hourly_schedule import HourlyNormalSchedule
+from repro.core.model_base import ModelContext, ResourceModel
+from repro.core.selectors import DatabaseSelector
+from repro.fabric.metrics import CPU_USED_CORES
+
+__all__ = ["CPU_USED_CORES", "CpuUsageModel"]
+
+
+class CpuUsageModel(ResourceModel):
+    """Hourly-normal CPU utilization sampled per report."""
+
+    metric = CPU_USED_CORES
+    persisted = False
+
+    def __init__(self, selector: DatabaseSelector,
+                 utilization: HourlyNormalSchedule,
+                 secondary_fraction: float = 0.3,
+                 start_weekday: int = 0) -> None:
+        utilization.validate()
+        self.selector = selector
+        self.utilization = utilization
+        self.secondary_fraction = secondary_fraction
+        self.start_weekday = start_weekday
+
+    def kind(self) -> str:
+        return "CpuUsageModel"
+
+    def _sample_utilization(self, context: ModelContext) -> float:
+        mu, sigma = self.utilization.params_at(context.now,
+                                               self.start_weekday)
+        draw = float(context.rng.normal(mu, sigma)) if sigma > 0 else mu
+        return min(max(draw, 0.0), 1.0)
+
+    def initial_value(self, context: ModelContext) -> float:
+        """Fresh replicas start effectively idle."""
+        return 0.0
+
+    def next_value(self, context: ModelContext) -> float:
+        utilization = self._sample_utilization(context)
+        if not context.is_primary:
+            utilization *= self.secondary_fraction
+        return utilization * context.database.slo.cores

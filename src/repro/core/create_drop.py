@@ -1,0 +1,81 @@
+"""Create-DB / Drop-DB models (paper §4.1).
+
+The paper models the number of creates and drops per hour as separate
+"hourly normal" distributions per (weekday/weekend, hour, edition) —
+96 Create models and 96 Drop models in total. A
+:class:`CreateDropModel` holds both 2 x 24 schedules for one edition;
+the Population Manager owns one per edition.
+
+Region-level parameters are scaled down to one tenant ring with
+:meth:`CreateDropModel.scaled_to_ring`, matching the paper's
+equal-probability ring-selection assumption (§4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelSpecError
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.sqldb.editions import Edition
+
+
+@dataclass
+class CreateDropModel:
+    """Hourly-normal create and drop rate model for one edition."""
+
+    edition: Edition
+    creates: HourlyNormalSchedule
+    drops: HourlyNormalSchedule
+
+    def __post_init__(self) -> None:
+        self.creates.validate()
+        self.drops.validate()
+
+    def sample_creates(self, daytype: DayType, hour: int,
+                       rng: np.random.Generator) -> int:
+        """Number of databases to create this hour (never negative)."""
+        return self._sample(self.creates, daytype, hour, rng)
+
+    def sample_drops(self, daytype: DayType, hour: int,
+                     rng: np.random.Generator) -> int:
+        """Number of databases to drop this hour (never negative)."""
+        return self._sample(self.drops, daytype, hour, rng)
+
+    @staticmethod
+    def _sample(schedule: HourlyNormalSchedule, daytype: DayType, hour: int,
+                rng: np.random.Generator) -> int:
+        mu, sigma = schedule.params(daytype, hour)
+        draw = rng.normal(mu, sigma) if sigma > 0 else mu
+        return max(0, int(round(draw)))
+
+    def expected_creates(self, daytype: DayType, hour: int) -> float:
+        """Mean creates for a cell (used in reports and calibration)."""
+        return self.creates.params(daytype, hour)[0]
+
+    def expected_drops(self, daytype: DayType, hour: int) -> float:
+        """Mean drops for a cell."""
+        return self.drops.params(daytype, hour)[0]
+
+    def expected_net_per_day(self, daytype: DayType) -> float:
+        """Expected net creates over one day of ``daytype``.
+
+        The truncation-at-zero bias of sampling is ignored; this is a
+        planning aid, not the sampler.
+        """
+        net = 0.0
+        for hour in range(24):
+            net += (self.expected_creates(daytype, hour)
+                    - self.expected_drops(daytype, hour))
+        return net
+
+    def scaled_to_ring(self, ring_count: int) -> "CreateDropModel":
+        """Scale region-level rates down to a single tenant ring."""
+        if ring_count < 1:
+            raise ModelSpecError(f"ring_count must be >= 1, got {ring_count}")
+        factor = 1.0 / ring_count
+        return CreateDropModel(edition=self.edition,
+                               creates=self.creates.scaled(factor),
+                               drops=self.drops.scaled(factor))

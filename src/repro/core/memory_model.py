@@ -1,0 +1,89 @@
+"""Memory-usage model (paper §3.3.2 and §5.5).
+
+The paper implements disk modeling and leaves memory/CPU "as future
+work", but it is explicit about the required semantics: memory is a
+*non-persisted* metric — "in production after a failover the memory
+load of a newly promoted primary will be smaller than the memory load
+of the previous primary (because the new primary wasn't servicing
+queries before)", so the model samples "using a default memory load
+value that describes a cold buffer pool". Models for local-store
+databases must also "be distinct for the primary and secondary
+replicas" (§3.3.2).
+
+We implement that future-work model: an exponential warm-up from a
+cold buffer pool toward a target fraction of the SLO's memory grant,
+with secondaries warming to a lower target than primaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelSpecError
+from repro.core.model_base import ModelContext, ResourceModel
+from repro.core.selectors import DatabaseSelector
+from repro.fabric.metrics import MEMORY_GB
+from repro.sqldb.editions import COLD_BUFFER_POOL_GB
+from repro.units import HOUR
+
+
+class MemoryUsageModel(ResourceModel):
+    """Cold-start exponential warm-up of buffer-pool memory.
+
+    Args:
+        selector: databases governed by the model.
+        primary_target_fraction: steady-state memory as a fraction of
+            the SLO grant for primary replicas.
+        secondary_target_fraction: same for secondaries (lower — they
+            serve no queries, only replication).
+        warmup_hours: time constant of the exponential approach.
+        jitter_fraction: relative Gaussian jitter applied per report.
+    """
+
+    metric = MEMORY_GB
+    persisted = False  # resets on failover by design (§3.3.2)
+
+    def __init__(self, selector: DatabaseSelector,
+                 primary_target_fraction: float = 0.75,
+                 secondary_target_fraction: float = 0.35,
+                 warmup_hours: float = 2.0,
+                 jitter_fraction: float = 0.02,
+                 cold_start_gb: float = COLD_BUFFER_POOL_GB) -> None:
+        for name, value in (("primary_target_fraction",
+                             primary_target_fraction),
+                            ("secondary_target_fraction",
+                             secondary_target_fraction)):
+            if not 0.0 < value <= 1.0:
+                raise ModelSpecError(f"{name} must be in (0, 1], got {value}")
+        if warmup_hours <= 0:
+            raise ModelSpecError("warmup_hours must be positive")
+        self.selector = selector
+        self.primary_target_fraction = primary_target_fraction
+        self.secondary_target_fraction = secondary_target_fraction
+        self.warmup_hours = warmup_hours
+        self.jitter_fraction = jitter_fraction
+        self.cold_start_gb = cold_start_gb
+
+    def kind(self) -> str:
+        return "MemoryUsageModel"
+
+    def _target(self, context: ModelContext) -> float:
+        fraction = (self.primary_target_fraction if context.is_primary
+                    else self.secondary_target_fraction)
+        return fraction * context.database.slo.memory_gb
+
+    def initial_value(self, context: ModelContext) -> float:
+        """A cold buffer pool, bounded by the SLO grant."""
+        return min(self.cold_start_gb, context.database.slo.memory_gb)
+
+    def next_value(self, context: ModelContext) -> float:
+        if context.previous_value is None:
+            return self.initial_value(context)
+        target = self._target(context)
+        tau = self.warmup_hours * HOUR
+        decay = math.exp(-context.interval_seconds / tau)
+        value = target + (context.previous_value - target) * decay
+        if self.jitter_fraction > 0:
+            value *= 1.0 + float(
+                context.rng.normal(0.0, self.jitter_fraction))
+        return float(min(max(value, 0.0), context.database.slo.memory_gb))

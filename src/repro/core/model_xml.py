@@ -1,0 +1,378 @@
+"""Model XML (de)serialization.
+
+Paper §3.3.1: "the models and respective parameters that were trained
+on the production telemetry are serialized into XML format and written
+into Service Fabric's Naming Service [...] RgManager reads the model
+XML every 15 minutes from Naming Service, parses them, and constructs
+internal model objects."
+
+The document carries both the resource models RgManager executes and
+the population models the Population Manager samples. The round trip
+``parse_model_xml(serialize_model_xml(doc))`` is exact up to float
+representation and is covered by property-based tests.
+
+Schema sketch::
+
+    <TotoModels version="1" seedSalt="exp-100" startWeekday="0">
+      <ResourceModels>
+        <DiskUsageModel persisted="true" floorGb="0.5">
+          <Selector edition="Premium/BC"/>
+          <SteadyState> <Hourly .../> x48 </SteadyState>
+          <InitialCreationGrowth probability="0.02" durationSeconds="1800">
+            <Bin low="12" high="60"/> ...
+          </InitialCreationGrowth>
+          <PredictableRapidGrowth probability="0.01" steadySeconds="..."
+              increaseSeconds="..." betweenSeconds="..." decreaseSeconds="...">
+            <IncreaseBins> <Bin .../> ... </IncreaseBins>
+            <DecreaseBins> <Bin .../> ... </DecreaseBins>
+          </PredictableRapidGrowth>
+        </DiskUsageModel>
+        <MemoryUsageModel .../>  <CpuUsageModel .../>
+      </ResourceModels>
+      <PopulationModels>
+        <EditionPopulation edition="Standard/GP">
+          <CreateModel> <Hourly .../> x48 </CreateModel>
+          <DropModel> ... </DropModel>
+          <SloMix> <Slo name="GP_Gen5_2" weight="0.45"/> ... </SloMix>
+          <InitialDataSize mu="2.3" sigma="1.1" minGb="0.1" capGb="2048"/>
+        </EditionPopulation>
+      </PopulationModels>
+    </TotoModels>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ModelSpecError
+from repro.core.cpu_model import CpuUsageModel
+from repro.core.create_drop import CreateDropModel
+from repro.core.disk_models import (
+    DiskUsageModel,
+    InitialGrowthSpec,
+    RapidGrowthSpec,
+)
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.core.memory_model import MemoryUsageModel
+from repro.core.model_base import BinnedUniform, ResourceModel
+from repro.core.population_models import (
+    InitialDataSpec,
+    PopulationModels,
+    SloMix,
+)
+from repro.core.selectors import DatabaseSelector
+from repro.sqldb.editions import Edition
+
+XML_VERSION = "1"
+
+
+@dataclass
+class TotoModelDocument:
+    """The deserialized content of the Naming-Service model blob."""
+
+    resource_models: List[ResourceModel] = field(default_factory=list)
+    population: Optional[PopulationModels] = None
+    seed_salt: str = "toto"
+    start_weekday: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Serialization helpers
+# ---------------------------------------------------------------------------
+
+def _schedule_to_element(parent: ET.Element, tag: str,
+                         schedule: HourlyNormalSchedule) -> None:
+    element = ET.SubElement(parent, tag)
+    for (daytype, hour), (mu, sigma) in sorted(
+            schedule.cells.items(), key=lambda kv: (kv[0][0].value, kv[0][1])):
+        ET.SubElement(element, "Hourly", {
+            "daytype": daytype.value,
+            "hour": str(hour),
+            "mu": repr(mu),
+            "sigma": repr(sigma),
+        })
+
+
+def _schedule_from_element(element: ET.Element) -> HourlyNormalSchedule:
+    schedule = HourlyNormalSchedule()
+    for hourly in element.findall("Hourly"):
+        daytype = DayType(hourly.get("daytype", ""))
+        schedule.set(daytype, int(hourly.get("hour", "-1")),
+                     float(hourly.get("mu", "nan")),
+                     float(hourly.get("sigma", "nan")))
+    return schedule
+
+
+def _bins_to_element(parent: ET.Element, bins: BinnedUniform) -> None:
+    for low, high in bins.bins:
+        ET.SubElement(parent, "Bin", {"low": repr(low), "high": repr(high)})
+
+
+def _bins_from_element(element: ET.Element) -> BinnedUniform:
+    bins = tuple((float(b.get("low", "nan")), float(b.get("high", "nan")))
+                 for b in element.findall("Bin"))
+    if not bins:
+        raise ModelSpecError(f"<{element.tag}> has no <Bin> children")
+    return BinnedUniform(bins=bins)
+
+
+def _selector_element(parent: ET.Element,
+                      selector: DatabaseSelector) -> None:
+    ET.SubElement(parent, "Selector", selector.to_attributes())
+
+
+def _parse_selector(element: ET.Element) -> DatabaseSelector:
+    selector_el = element.find("Selector")
+    if selector_el is None:
+        return DatabaseSelector()
+    return DatabaseSelector.from_attributes(dict(selector_el.attrib))
+
+
+def _bool(value: str) -> bool:
+    if value.lower() in ("true", "1"):
+        return True
+    if value.lower() in ("false", "0"):
+        return False
+    raise ModelSpecError(f"bad boolean '{value}' in model XML")
+
+
+# ---------------------------------------------------------------------------
+# Resource models
+# ---------------------------------------------------------------------------
+
+def _disk_model_to_element(parent: ET.Element,
+                           model: DiskUsageModel) -> None:
+    element = ET.SubElement(parent, "DiskUsageModel", {
+        "persisted": str(model.persisted).lower(),
+        "floorGb": repr(model.floor_gb),
+        "rateHeterogeneity": repr(model.rate_heterogeneity),
+    })
+    _selector_element(element, model.selector)
+    _schedule_to_element(element, "SteadyState", model.steady)
+    if model.initial_growth is not None:
+        spec = model.initial_growth
+        initial = ET.SubElement(element, "InitialCreationGrowth", {
+            "probability": repr(spec.probability),
+            "durationSeconds": str(spec.duration_seconds),
+        })
+        _bins_to_element(initial, spec.totals)
+    if model.rapid_growth is not None:
+        spec = model.rapid_growth
+        rapid = ET.SubElement(element, "PredictableRapidGrowth", {
+            "probability": repr(spec.probability),
+            "steadySeconds": str(spec.steady_duration),
+            "increaseSeconds": str(spec.increase_duration),
+            "betweenSeconds": str(spec.between_duration),
+            "decreaseSeconds": str(spec.decrease_duration),
+        })
+        _bins_to_element(ET.SubElement(rapid, "IncreaseBins"),
+                         spec.increase_totals)
+        _bins_to_element(ET.SubElement(rapid, "DecreaseBins"),
+                         spec.decrease_totals)
+
+
+def _disk_model_from_element(element: ET.Element,
+                             start_weekday: int) -> DiskUsageModel:
+    steady_el = element.find("SteadyState")
+    if steady_el is None:
+        raise ModelSpecError("DiskUsageModel missing <SteadyState>")
+    initial_growth = None
+    initial_el = element.find("InitialCreationGrowth")
+    if initial_el is not None:
+        initial_growth = InitialGrowthSpec(
+            probability=float(initial_el.get("probability", "nan")),
+            totals=_bins_from_element(initial_el),
+            duration_seconds=int(initial_el.get("durationSeconds", "1800")),
+        )
+    rapid_growth = None
+    rapid_el = element.find("PredictableRapidGrowth")
+    if rapid_el is not None:
+        increase_el = rapid_el.find("IncreaseBins")
+        decrease_el = rapid_el.find("DecreaseBins")
+        if increase_el is None or decrease_el is None:
+            raise ModelSpecError(
+                "PredictableRapidGrowth needs IncreaseBins and DecreaseBins")
+        rapid_growth = RapidGrowthSpec(
+            probability=float(rapid_el.get("probability", "nan")),
+            steady_duration=int(rapid_el.get("steadySeconds", "0")),
+            increase_duration=int(rapid_el.get("increaseSeconds", "0")),
+            between_duration=int(rapid_el.get("betweenSeconds", "0")),
+            decrease_duration=int(rapid_el.get("decreaseSeconds", "0")),
+            increase_totals=_bins_from_element(increase_el),
+            decrease_totals=_bins_from_element(decrease_el),
+        )
+    return DiskUsageModel(
+        selector=_parse_selector(element),
+        steady=_schedule_from_element(steady_el),
+        initial_growth=initial_growth,
+        rapid_growth=rapid_growth,
+        persisted=_bool(element.get("persisted", "true")),
+        floor_gb=float(element.get("floorGb", "0.5")),
+        rate_heterogeneity=float(element.get("rateHeterogeneity", "0.8")),
+        start_weekday=start_weekday,
+    )
+
+
+def _memory_model_to_element(parent: ET.Element,
+                             model: MemoryUsageModel) -> None:
+    element = ET.SubElement(parent, "MemoryUsageModel", {
+        "primaryTarget": repr(model.primary_target_fraction),
+        "secondaryTarget": repr(model.secondary_target_fraction),
+        "warmupHours": repr(model.warmup_hours),
+        "jitter": repr(model.jitter_fraction),
+        "coldStartGb": repr(model.cold_start_gb),
+    })
+    _selector_element(element, model.selector)
+
+
+def _memory_model_from_element(element: ET.Element) -> MemoryUsageModel:
+    return MemoryUsageModel(
+        selector=_parse_selector(element),
+        primary_target_fraction=float(element.get("primaryTarget", "0.75")),
+        secondary_target_fraction=float(element.get("secondaryTarget", "0.35")),
+        warmup_hours=float(element.get("warmupHours", "2.0")),
+        jitter_fraction=float(element.get("jitter", "0.02")),
+        cold_start_gb=float(element.get("coldStartGb", "2.0")),
+    )
+
+
+def _cpu_model_to_element(parent: ET.Element, model: CpuUsageModel) -> None:
+    element = ET.SubElement(parent, "CpuUsageModel", {
+        "secondaryFraction": repr(model.secondary_fraction),
+    })
+    _selector_element(element, model.selector)
+    _schedule_to_element(element, "Utilization", model.utilization)
+
+
+def _cpu_model_from_element(element: ET.Element,
+                            start_weekday: int) -> CpuUsageModel:
+    utilization_el = element.find("Utilization")
+    if utilization_el is None:
+        raise ModelSpecError("CpuUsageModel missing <Utilization>")
+    return CpuUsageModel(
+        selector=_parse_selector(element),
+        utilization=_schedule_from_element(utilization_el),
+        secondary_fraction=float(element.get("secondaryFraction", "0.3")),
+        start_weekday=start_weekday,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Population models
+# ---------------------------------------------------------------------------
+
+def _population_to_element(parent: ET.Element,
+                           population: PopulationModels) -> None:
+    population.validate()
+    container = ET.SubElement(parent, "PopulationModels")
+    for edition in population.editions:
+        edition_el = ET.SubElement(container, "EditionPopulation",
+                                   {"edition": edition.value})
+        model = population.create_drop[edition]
+        _schedule_to_element(edition_el, "CreateModel", model.creates)
+        _schedule_to_element(edition_el, "DropModel", model.drops)
+        mix_el = ET.SubElement(edition_el, "SloMix")
+        for name, weight in population.slo_mix[edition].weights:
+            ET.SubElement(mix_el, "Slo", {"name": name, "weight": repr(weight)})
+        spec = population.initial_data[edition]
+        ET.SubElement(edition_el, "InitialDataSize", {
+            "mu": repr(spec.mu), "sigma": repr(spec.sigma),
+            "minGb": repr(spec.min_gb), "capGb": repr(spec.cap_gb),
+            "coreExponent": repr(spec.core_exponent),
+        })
+
+
+def _population_from_element(container: ET.Element) -> PopulationModels:
+    population = PopulationModels()
+    for edition_el in container.findall("EditionPopulation"):
+        edition = Edition(edition_el.get("edition", ""))
+        create_el = edition_el.find("CreateModel")
+        drop_el = edition_el.find("DropModel")
+        mix_el = edition_el.find("SloMix")
+        data_el = edition_el.find("InitialDataSize")
+        if None in (create_el, drop_el, mix_el, data_el):
+            raise ModelSpecError(
+                f"EditionPopulation for {edition.value} is incomplete")
+        population.create_drop[edition] = CreateDropModel(
+            edition=edition,
+            creates=_schedule_from_element(create_el),
+            drops=_schedule_from_element(drop_el),
+        )
+        weights = {slo.get("name", ""): float(slo.get("weight", "nan"))
+                   for slo in mix_el.findall("Slo")}
+        population.slo_mix[edition] = SloMix.from_dict(edition, weights)
+        population.initial_data[edition] = InitialDataSpec(
+            edition=edition,
+            mu=float(data_el.get("mu", "nan")),
+            sigma=float(data_el.get("sigma", "nan")),
+            min_gb=float(data_el.get("minGb", "0.1")),
+            cap_gb=float(data_el.get("capGb", "2048.0")),
+            core_exponent=float(data_el.get("coreExponent", "0.0")),
+        )
+    population.validate()
+    return population
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def serialize_model_xml(document: TotoModelDocument) -> str:
+    """Serialize a model document to the XML blob Toto stores."""
+    root = ET.Element("TotoModels", {
+        "version": XML_VERSION,
+        "seedSalt": document.seed_salt,
+        "startWeekday": str(document.start_weekday),
+    })
+    resources = ET.SubElement(root, "ResourceModels")
+    for model in document.resource_models:
+        if isinstance(model, DiskUsageModel):
+            _disk_model_to_element(resources, model)
+        elif isinstance(model, MemoryUsageModel):
+            _memory_model_to_element(resources, model)
+        elif isinstance(model, CpuUsageModel):
+            _cpu_model_to_element(resources, model)
+        else:
+            raise ModelSpecError(
+                f"cannot serialize model kind {type(model).__name__}")
+    if document.population is not None:
+        _population_to_element(root, document.population)
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_model_xml(text: str) -> TotoModelDocument:
+    """Parse an XML blob back into a model document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ModelSpecError(f"malformed model XML: {exc}") from exc
+    if root.tag != "TotoModels":
+        raise ModelSpecError(f"expected <TotoModels>, got <{root.tag}>")
+    version = root.get("version", "")
+    if version != XML_VERSION:
+        raise ModelSpecError(f"unsupported model XML version '{version}'")
+    document = TotoModelDocument(
+        seed_salt=root.get("seedSalt", "toto"),
+        start_weekday=int(root.get("startWeekday", "0")),
+    )
+    resources = root.find("ResourceModels")
+    if resources is not None:
+        for element in resources:
+            if element.tag == "DiskUsageModel":
+                document.resource_models.append(
+                    _disk_model_from_element(element, document.start_weekday))
+            elif element.tag == "MemoryUsageModel":
+                document.resource_models.append(
+                    _memory_model_from_element(element))
+            elif element.tag == "CpuUsageModel":
+                document.resource_models.append(
+                    _cpu_model_from_element(element, document.start_weekday))
+            else:
+                raise ModelSpecError(
+                    f"unknown resource model element <{element.tag}>")
+    population_el = root.find("PopulationModels")
+    if population_el is not None:
+        document.population = _population_from_element(population_el)
+    return document

@@ -1,0 +1,117 @@
+"""Toto's orchestrator component (paper §3.3.1).
+
+Serializes the model document into XML, writes it into the Naming
+Service, and runs the per-node refresh loop: every RgManager re-reads
+the blob every 15 minutes, parses it, and constructs fresh model
+objects. Overwriting the XML is how an experiment "officially begins"
+(§5.2) and how behaviour is re-tuned mid-run ("grow disk usage of
+Premium/BC replicas 2x faster is easily configurable simply by
+changing XML properties", §3.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.model_base import TotoModelSet
+from repro.core.model_xml import (
+    TotoModelDocument,
+    parse_model_xml,
+    serialize_model_xml,
+)
+from repro.simkernel import PeriodicProcess, SimulationKernel
+from repro.sqldb.tenant_ring import TenantRing
+from repro.units import MODEL_REFRESH_INTERVAL
+
+#: Naming-Service key under which the serialized models live.
+MODEL_XML_KEY = "toto/models/xml"
+
+
+class TotoOrchestrator:
+    """Injects behaviour models into every node's RgManager."""
+
+    def __init__(self, kernel: SimulationKernel, ring: TenantRing,
+                 refresh_interval: int = MODEL_REFRESH_INTERVAL) -> None:
+        self._kernel = kernel
+        self._ring = ring
+        self.refresh_interval = refresh_interval
+        self._refreshers: List[PeriodicProcess] = [
+            PeriodicProcess(kernel, refresh_interval,
+                            self._make_refresh(rgmanager),
+                            label=f"model-refresh-node-{rgmanager.node_id}")
+            for rgmanager in ring.rgmanagers
+        ]
+        self.documents_published = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def naming(self):
+        return self._ring.cluster.naming
+
+    def start(self) -> None:
+        """Begin the 15-minute refresh loops on every node."""
+        for refresher in self._refreshers:
+            if not refresher.running:
+                refresher.start()
+
+    def stop(self) -> None:
+        for refresher in self._refreshers:
+            refresher.stop()
+
+    # ------------------------------------------------------------------
+
+    def publish_models(self, document: TotoModelDocument,
+                       propagate_now: bool = False) -> int:
+        """Write the serialized model XML into the Naming Service.
+
+        Nodes pick the change up on their next 15-minute refresh; pass
+        ``propagate_now=True`` to force an immediate refresh on every
+        node (used at experiment start so all nodes begin the benchmark
+        with identical models).
+        Returns the new blob version.
+        """
+        xml = serialize_model_xml(document)
+        version = self.naming.put(MODEL_XML_KEY, xml)
+        self.documents_published += 1
+        if propagate_now:
+            self.refresh_all_nodes()
+        return version
+
+    def clear_models(self, propagate_now: bool = False) -> None:
+        """Remove the blob; RgManagers fall back to actual loads."""
+        self.naming.delete_if_exists(MODEL_XML_KEY)
+        if propagate_now:
+            self.refresh_all_nodes()
+
+    def current_document(self) -> Optional[TotoModelDocument]:
+        """Parse and return the currently published document, if any."""
+        xml = self.naming.get_or_default(MODEL_XML_KEY)
+        if xml is None:
+            return None
+        return parse_model_xml(xml)
+
+    def refresh_all_nodes(self) -> None:
+        """Force every RgManager to re-read the XML immediately."""
+        for rgmanager in self._ring.rgmanagers:
+            self._refresh_one(rgmanager)
+
+    # ------------------------------------------------------------------
+
+    def _make_refresh(self, rgmanager):
+        def refresh(now: int) -> None:
+            self._refresh_one(rgmanager)
+        return refresh
+
+    def _refresh_one(self, rgmanager) -> None:
+        """One node's refresh: skip the parse when the blob is unchanged."""
+        version = self.naming.version(MODEL_XML_KEY)
+        if version == rgmanager.model_version:
+            return
+        if version == 0:
+            rgmanager.install_models(None, 0)
+            return
+        xml = self.naming.get(MODEL_XML_KEY)
+        document = parse_model_xml(xml)
+        rgmanager.install_models(TotoModelSet(document.resource_models),
+                                 version)

@@ -1,0 +1,205 @@
+"""The Population Manager (paper §3.3.3).
+
+"The Population Manager runs as a stateless daemon — it wakes up at
+the top of each hour to execute, samples from the provided models,
+then schedules create or drop requests for the next hour. Each create
+and drop request will then call the corresponding control plane API
+with the provided metadata (e.g., Create a 4-core local store database
+at 5:37pm)."
+
+Determinism (§5.2): the Population Manager uses a *single seed* "which
+fixed the order and the SLO of the databases that were created".
+Everything that defines a creation — its within-hour offset, SLO,
+initial data size, and growth-pattern flags — is sampled at the top of
+the hour from that one stream, so the request sequence is bit-identical
+across density experiments; only admission outcomes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import AdmissionRejected
+from repro.core.create_drop import CreateDropModel
+from repro.core.disk_models import DiskUsageModel
+from repro.core.hourly_schedule import DayType
+from repro.core.model_xml import TotoModelDocument
+from repro.core.population_models import PopulationModels
+from repro.simkernel import PeriodicProcess, SimulationKernel
+from repro.sqldb.control_plane import ControlPlane
+from repro.sqldb.editions import Edition
+from repro.sqldb.slo import get_slo
+from repro.units import HOUR, hour_of_day
+
+
+@dataclass(frozen=True)
+class CreateRequest:
+    """A fully specified create scheduled for a specific instant."""
+
+    at: int
+    edition: Edition
+    slo_name: str
+    initial_data_gb: float
+    high_initial_growth: bool
+    initial_growth_total_gb: float
+    rapid_growth: bool
+
+
+@dataclass
+class PopulationManagerStats:
+    """Counters for tests and reports."""
+
+    hours_ticked: int = 0
+    creates_requested: int = 0
+    creates_admitted: int = 0
+    creates_redirected: int = 0
+    drops_requested: int = 0
+    drops_executed: int = 0
+    drops_skipped_empty: int = 0
+
+
+class PopulationManager:
+    """Hourly churn daemon driving the control plane."""
+
+    def __init__(self, kernel: SimulationKernel, control_plane: ControlPlane,
+                 models: PopulationModels,
+                 rng: np.random.Generator,
+                 model_document: Optional[TotoModelDocument] = None,
+                 start_weekday: int = 0) -> None:
+        models.validate()
+        self._kernel = kernel
+        self._control_plane = control_plane
+        self._models = models
+        self._rng = rng
+        self._document = model_document
+        self.start_weekday = start_weekday
+        self.stats = PopulationManagerStats()
+        self._process = PeriodicProcess(kernel, HOUR, self._tick,
+                                        label="population-manager",
+                                        align_to_period=True)
+        #: Request log, kept for determinism assertions across runs.
+        self.request_log: List[CreateRequest] = []
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin waking at the top of each hour."""
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    # ------------------------------------------------------------------
+
+    def _disk_model_for(self, edition: Edition) -> Optional[DiskUsageModel]:
+        """The published disk model whose selector owns ``edition``."""
+        if self._document is None:
+            return None
+        for model in self._document.resource_models:
+            if (isinstance(model, DiskUsageModel)
+                    and model.selector.edition is edition):
+                return model
+        return None
+
+    def _tick(self, now: int) -> None:
+        """Top-of-hour: sample counts, then schedule this hour's requests."""
+        self.stats.hours_ticked += 1
+        daytype = DayType.of(now, self.start_weekday)
+        hour = hour_of_day(now)
+        for edition in self._models.editions:
+            model: CreateDropModel = self._models.create_drop[edition]
+            n_creates = model.sample_creates(daytype, hour, self._rng)
+            n_drops = model.sample_drops(daytype, hour, self._rng)
+            for _ in range(n_creates):
+                request = self._sample_create(now, edition)
+                self.request_log.append(request)
+                self._kernel.schedule(
+                    request.at, lambda r=request: self._execute_create(r),
+                    label=f"create-{edition.short_name}")
+            for _ in range(n_drops):
+                offset = int(self._rng.integers(0, HOUR))
+                self._kernel.schedule(
+                    now + offset,
+                    lambda e=edition: self._execute_drop(e),
+                    label=f"drop-{edition.short_name}")
+
+    def _sample_create(self, now: int, edition: Edition) -> CreateRequest:
+        """Draw everything defining one create, in fixed draw order."""
+        offset = int(self._rng.integers(0, HOUR))
+        slo_name = self._models.slo_mix[edition].sample(self._rng)
+        data_gb = self._models.initial_data[edition].sample(
+            self._rng, cores=get_slo(slo_name).cores)
+        disk_model = self._disk_model_for(edition)
+        if disk_model is not None:
+            high_initial, total_gb, rapid = \
+                disk_model.sample_creation_flags(self._rng)
+        else:
+            high_initial, total_gb, rapid = False, 0.0, False
+        return CreateRequest(
+            at=now + offset, edition=edition, slo_name=slo_name,
+            initial_data_gb=data_gb, high_initial_growth=high_initial,
+            initial_growth_total_gb=total_gb, rapid_growth=rapid)
+
+    # ------------------------------------------------------------------
+
+    def _execute_create(self, request: CreateRequest) -> None:
+        self.stats.creates_requested += 1
+        try:
+            self._control_plane.create_database(
+                slo_name=request.slo_name,
+                now=self._kernel.now,
+                initial_data_gb=request.initial_data_gb,
+                high_initial_growth=request.high_initial_growth,
+                initial_growth_total_gb=request.initial_growth_total_gb,
+                rapid_growth=request.rapid_growth,
+            )
+        except AdmissionRejected:
+            # The ring redirected the create to another tenant ring;
+            # the control plane already recorded it (Figure 10).
+            self.stats.creates_redirected += 1
+        else:
+            self.stats.creates_admitted += 1
+
+    #: Databases older than this are not drop candidates: drop traffic
+    #: is dominated by short-lived dev/test churn, and a ring whose
+    #: population is all long-lived simply receives fewer of the
+    #: region's drops.
+    DROP_CANDIDATE_MAX_AGE = 48 * HOUR
+
+    def _execute_drop(self, edition: Edition) -> None:
+        self.stats.drops_requested += 1
+        now = self._kernel.now
+        candidates = [db for db in
+                      self._control_plane.active_databases(edition)
+                      if now - db.created_at <= self.DROP_CANDIDATE_MAX_AGE]
+        if not candidates:
+            self.stats.drops_skipped_empty += 1
+            return
+        victim = self._choose_drop_victim(candidates)
+        self._control_plane.drop_database(victim.db_id, now)
+        self.stats.drops_executed += 1
+
+    def _choose_drop_victim(self, candidates):
+        """Pick the drop victim, weighted toward the youngest databases.
+
+        Short-lived databases dominate drop traffic while long-lived
+        databases persist and grow — that skew is what keeps cluster
+        disk ratcheting upward. The weight halves for every six hours
+        of age.
+        """
+        now = self._kernel.now
+        weights = np.array(
+            [0.5 ** min((now - db.created_at) / (6.0 * HOUR), 60.0)
+             for db in candidates], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            return candidates[int(self._rng.integers(len(candidates)))]
+        index = int(self._rng.choice(len(candidates), p=weights / total))
+        return candidates[index]

@@ -1,0 +1,139 @@
+"""Population models consumed by the Population Manager.
+
+Paper §3.3.3: "The Population Manager's models describe how many
+databases to create/drop per hour, the service tier/edition and the
+Service Level Objective (SLO) of the databases to create, and the
+initial metric load for each database."
+
+That is three model families per edition:
+
+* :class:`repro.core.create_drop.CreateDropModel` — hourly counts;
+* :class:`SloMix` — which SLO a new database purchases;
+* :class:`InitialDataSpec` — the initial data size (lognormal, which
+  matches the heavy-tailed sizes production exhibits: most databases
+  are small, a few are very large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ModelSpecError
+from repro.core.create_drop import CreateDropModel
+from repro.sqldb.editions import Edition
+from repro.sqldb.slo import get_slo
+
+
+@dataclass(frozen=True)
+class SloMix:
+    """Categorical distribution over SLO names for one edition."""
+
+    edition: Edition
+    weights: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ModelSpecError("SloMix needs at least one SLO")
+        total = 0.0
+        for name, weight in self.weights:
+            slo = get_slo(name)  # raises on unknown names
+            if slo.edition is not self.edition:
+                raise ModelSpecError(
+                    f"SLO {name} is {slo.edition.value}, mix is "
+                    f"{self.edition.value}")
+            if weight < 0:
+                raise ModelSpecError(f"negative weight for {name}")
+            total += weight
+        if total <= 0:
+            raise ModelSpecError("SloMix weights sum to zero")
+
+    @classmethod
+    def from_dict(cls, edition: Edition,
+                  weights: Dict[str, float]) -> "SloMix":
+        """Build from a name→weight mapping (sorted for determinism)."""
+        return cls(edition=edition,
+                   weights=tuple(sorted(weights.items())))
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Draw an SLO name."""
+        names = [name for name, _ in self.weights]
+        raw = np.array([weight for _, weight in self.weights], dtype=float)
+        return str(names[int(rng.choice(len(names), p=raw / raw.sum()))])
+
+    def expected_cores(self) -> float:
+        """Expected reserved cores (across replicas) of one creation."""
+        raw = np.array([w for _, w in self.weights], dtype=float)
+        probs = raw / raw.sum()
+        cores = np.array([get_slo(name).total_reserved_cores
+                          for name, _ in self.weights], dtype=float)
+        return float(np.dot(probs, cores))
+
+
+@dataclass(frozen=True)
+class InitialDataSpec:
+    """Lognormal initial data size for new databases of one edition.
+
+    ``mu``/``sigma`` parameterize the underlying normal of
+    ``log(size_gb)`` for a reference 4-core database; samples are
+    clipped to ``[min_gb, cap_gb]``. ``core_exponent`` scales sizes by
+    ``(cores / 4) ** core_exponent`` — customers buy big SLOs because
+    they have big databases, so size correlates with compute.
+    """
+
+    edition: Edition
+    mu: float
+    sigma: float
+    min_gb: float = 0.1
+    cap_gb: float = 2048.0
+    core_exponent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ModelSpecError(f"sigma must be >= 0, got {self.sigma}")
+        if self.min_gb <= 0 or self.cap_gb < self.min_gb:
+            raise ModelSpecError(
+                f"bad clip range [{self.min_gb}, {self.cap_gb}]")
+        if self.core_exponent < 0:
+            raise ModelSpecError(
+                f"core_exponent must be >= 0, got {self.core_exponent}")
+
+    def sample(self, rng: np.random.Generator, cores: int = 4) -> float:
+        """Draw an initial data size in GB for a ``cores``-core SLO."""
+        value = float(rng.lognormal(self.mu, self.sigma))
+        if self.core_exponent > 0 and cores != 4:
+            value *= (cores / 4.0) ** self.core_exponent
+        return float(min(max(value, self.min_gb), self.cap_gb))
+
+    def median_gb(self) -> float:
+        """Median of the (unclipped) lognormal."""
+        return float(np.exp(self.mu))
+
+
+@dataclass
+class PopulationModels:
+    """Everything the Population Manager samples from, per edition."""
+
+    create_drop: Dict[Edition, CreateDropModel] = field(default_factory=dict)
+    slo_mix: Dict[Edition, SloMix] = field(default_factory=dict)
+    initial_data: Dict[Edition, InitialDataSpec] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Every edition present must have all three model families."""
+        editions = set(self.create_drop)
+        if editions != set(self.slo_mix) or editions != set(self.initial_data):
+            raise ModelSpecError(
+                "population models incomplete: create_drop for "
+                f"{sorted(e.value for e in self.create_drop)}, slo_mix for "
+                f"{sorted(e.value for e in self.slo_mix)}, initial_data for "
+                f"{sorted(e.value for e in self.initial_data)}")
+        if not editions:
+            raise ModelSpecError("population models are empty")
+
+    @property
+    def editions(self) -> Tuple[Edition, ...]:
+        """Editions with population churn, in enum declaration order."""
+        return tuple(edition for edition in Edition
+                     if edition in self.create_drop)

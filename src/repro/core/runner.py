@@ -1,0 +1,228 @@
+"""Benchmark execution: wires a scenario into a full run.
+
+The run proceeds exactly as §5.2 describes:
+
+1. **Bootstrap** — the initial population is created through the
+   control plane with "growth fixed to 0" (no models published, so
+   RgManager reports the static initial loads) and the PLB places and
+   balances it during the settle window.
+2. **Official start** — the model XML is written into the Naming
+   Service and propagated, the Population Manager starts waking at the
+   top of each hour, and the telemetry collector begins its hourly
+   snapshots.
+3. **Run** — the kernel executes the scenario's duration.
+4. **Scoring** — final KPIs and the modeled adjusted-revenue report
+   are assembled into a :class:`BenchmarkResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import AdmissionRejected, ScenarioError
+from repro.core.orchestrator import TotoOrchestrator
+from repro.core.population_manager import PopulationManager
+from repro.core.scenario import BenchmarkScenario
+from repro.fabric.failover import FailoverRecord
+from repro.fabric.metrics import CPU_CORES, DISK_GB
+from repro.revenue.adjusted import AdjustedRevenueReport, adjusted_revenue_report
+from repro.rng import RngRegistry
+from repro.simkernel import SimulationKernel
+from repro.sqldb.control_plane import CreationRedirect
+from repro.sqldb.population import generate_initial_population
+from repro.sqldb.tenant_ring import TenantRing
+from repro.telemetry.collector import TelemetryCollector, TelemetryFrame
+from repro.telemetry.kpis import FailoverKpis, RunKpis
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything one benchmark run produced."""
+
+    scenario: BenchmarkScenario
+    frames: List[TelemetryFrame]
+    failovers: List[FailoverRecord]
+    redirects: List[CreationRedirect]
+    databases: List
+    kpis: RunKpis
+    revenue: AdjustedRevenueReport
+    bootstrap_free_cores: float
+    bootstrap_disk_utilization: float
+    events_executed: int
+
+    @property
+    def density(self) -> float:
+        return self.scenario.ring.density
+
+    def redirect_series(self) -> List[int]:
+        """Cumulative creation redirects per hour (Figure 10)."""
+        return [frame.redirects_cumulative for frame in self.frames]
+
+    def first_redirect_hour(self) -> Optional[int]:
+        """Hour of the first creation redirect, None if none occurred."""
+        for frame in self.frames:
+            if frame.redirects_cumulative > 0:
+                return frame.hour_index
+        return None
+
+    def cores_vs_disk(self) -> List[tuple]:
+        """(reserved cores, disk GB) per hour (Figure 11)."""
+        return [(frame.reserved_cores, frame.disk_gb)
+                for frame in self.frames]
+
+
+class BenchmarkRunner:
+    """Executes one :class:`BenchmarkScenario` end to end."""
+
+    def __init__(self, scenario: BenchmarkScenario) -> None:
+        self.scenario = scenario
+        self.kernel = SimulationKernel()
+        self.rng = RngRegistry(scenario.seed)
+        self.ring = TenantRing(
+            self.kernel, scenario.ring, self.rng,
+            plb_rng_name=f"plb-{scenario.plb_salt}")
+        self.orchestrator = TotoOrchestrator(self.kernel, self.ring)
+        self.collector = TelemetryCollector(
+            self.kernel, self.ring, interval=scenario.telemetry_interval)
+        self.population_manager: Optional[PopulationManager] = None
+        if scenario.run_population_manager:
+            document = scenario.model_document
+            if document.population is None:
+                raise ScenarioError(
+                    f"scenario '{scenario.name}' runs the Population "
+                    "Manager but the model document has no population models")
+            self.population_manager = PopulationManager(
+                kernel=self.kernel,
+                control_plane=self.ring.control_plane,
+                models=document.population,
+                rng=self.rng.stream("population-manager"),
+                model_document=document,
+                start_weekday=scenario.ring.start_weekday,
+            )
+        self._bootstrap_free_cores = 0.0
+        self._bootstrap_disk_utilization = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> BenchmarkResult:
+        """Execute the full benchmark and return its result."""
+        scenario = self.scenario
+        self._bootstrap()
+        self.ring.start()
+        self.orchestrator.start()
+        # Settle: growth frozen (no models yet), PLB balances placement.
+        self.kernel.run_until(self.kernel.now + scenario.bootstrap_settle)
+
+        self._bootstrap_free_cores = self.ring.free_cores()
+        self._bootstrap_disk_utilization = (
+            self.ring.disk_usage_gb()
+            / self.ring.cluster.total_capacity(DISK_GB))
+
+        # The experiment "officially begins": publish the models and
+        # start the churn and the telemetry.
+        self.orchestrator.publish_models(scenario.model_document,
+                                         propagate_now=True)
+        self.collector.start()
+        if self.population_manager is not None:
+            self.population_manager.start()
+        self._schedule_scripted_creates()
+
+        self.kernel.run_until(self.kernel.now + scenario.duration)
+        self.collector.capture_final()
+        self.ring.cluster.validate_invariants()
+        return self._assemble_result()
+
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Create the initial population (growth frozen, §5.2)."""
+        spec = self.scenario.initial_population
+        if spec is None:
+            return
+        cluster = self.ring.cluster
+        cores_at_100pct = (self.scenario.ring.base_capacities.cpu_cores
+                           * self.scenario.ring.node_count)
+        orders = generate_initial_population(
+            spec,
+            cluster_cores_at_100pct=cores_at_100pct,
+            cluster_disk_gb=cluster.total_capacity(DISK_GB),
+            rng=self.rng.stream("bootstrap"),
+        )
+        for order in orders:
+            try:
+                self.ring.control_plane.create_database(
+                    slo_name=order.slo_name,
+                    now=self.kernel.now,
+                    initial_data_gb=order.initial_data_gb,
+                    rapid_growth=order.rapid_growth,
+                    from_bootstrap=True,
+                )
+            except AdmissionRejected as exc:
+                raise ScenarioError(
+                    f"bootstrap population does not fit the ring: {exc}"
+                ) from exc
+        # Bootstrap rejections would poison Figure 10; assert clean.
+        if self.ring.control_plane.redirects:
+            raise ScenarioError("bootstrap recorded creation redirects")
+
+    def _schedule_scripted_creates(self) -> None:
+        """Queue the scenario's incident-replay creates (use case (c)).
+
+        A scripted create that the ring redirects is recorded like any
+        other redirect — whether the incident database is admitted at a
+        given density is part of what the repro reveals.
+        """
+        start = self.kernel.now
+        for scripted in self.scenario.scripted_creates:
+            def execute(spec=scripted) -> None:
+                try:
+                    self.ring.control_plane.create_database(
+                        slo_name=spec.slo_name,
+                        now=self.kernel.now,
+                        initial_data_gb=spec.initial_data_gb,
+                        high_initial_growth=spec.high_initial_growth,
+                        initial_growth_total_gb=spec.initial_growth_total_gb,
+                        rapid_growth=spec.rapid_growth,
+                    )
+                except AdmissionRejected:
+                    pass  # recorded as a creation redirect
+            self.kernel.schedule(start + scripted.at_offset, execute,
+                                 label=f"scripted-create-{scripted.slo_name}")
+
+    def _assemble_result(self) -> BenchmarkResult:
+        now = self.kernel.now
+        cluster = self.ring.cluster
+        control_plane = self.ring.control_plane
+        failover_kpis = FailoverKpis.from_records(cluster.failovers,
+                                                  control_plane)
+        kpis = RunKpis(
+            final_reserved_cores=cluster.reserved_cores(),
+            final_disk_gb=cluster.disk_usage_gb(),
+            core_utilization=(cluster.reserved_cores()
+                              / cluster.total_capacity(CPU_CORES)),
+            disk_utilization=(cluster.disk_usage_gb()
+                              / cluster.total_capacity(DISK_GB)),
+            creation_redirects=control_plane.redirect_count(),
+            active_databases=control_plane.active_count(),
+            failovers=failover_kpis,
+        )
+        revenue = adjusted_revenue_report(
+            control_plane.all_databases(), now, naming=cluster.naming)
+        return BenchmarkResult(
+            scenario=self.scenario,
+            frames=list(self.collector.frames),
+            failovers=list(cluster.failovers),
+            redirects=list(control_plane.redirects),
+            databases=control_plane.all_databases(),
+            kpis=kpis,
+            revenue=revenue,
+            bootstrap_free_cores=self._bootstrap_free_cores,
+            bootstrap_disk_utilization=self._bootstrap_disk_utilization,
+            events_executed=self.kernel.events_executed,
+        )
+
+
+def run_scenario(scenario: BenchmarkScenario) -> BenchmarkResult:
+    """Convenience one-shot runner."""
+    return BenchmarkRunner(scenario).run()

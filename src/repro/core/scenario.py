@@ -1,0 +1,109 @@
+"""Declarative benchmark scenarios.
+
+Paper §1: "Toto consumes declaratively specified models and
+parameters, allowing us to easily (re)specify a benchmark scenario of
+arbitrary scale, complexity, and time-length and target any SQL DB
+cluster." A :class:`BenchmarkScenario` is that declaration: the ring
+shape (with the density knob), the initial population, the model
+document, the duration, and the seeds.
+
+Seeding follows §5.2: one root seed fixes the Population Manager and
+the per-node model streams; the PLB stream is salted separately
+(``plb_salt``) because production could not pin the PLB seed across
+repeated runs — the non-determinism study varies only this salt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.core.model_xml import TotoModelDocument
+from repro.sqldb.population import InitialPopulationSpec
+from repro.sqldb.tenant_ring import TenantRingConfig
+from repro.units import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class ScriptedCreate:
+    """A hand-written create injected at a fixed offset into the run.
+
+    This is the paper's use case (c): "debug ('repro') problems from
+    the production clusters". A production incident — say, a 6-core
+    Business Critical database restoring 1.3 TB at hour 30 — is
+    replayed exactly, on top of the statistical churn.
+
+    Attributes:
+        at_offset: seconds after the experiment's official start.
+        slo_name: the SLO to create.
+        initial_data_gb: data size at creation.
+        high_initial_growth / initial_growth_total_gb: Initial Creation
+            Growth override (§4.2.3).
+        rapid_growth: Predictable Rapid Growth flag (§4.2.4).
+    """
+
+    at_offset: int
+    slo_name: str
+    initial_data_gb: float
+    high_initial_growth: bool = False
+    initial_growth_total_gb: float = 0.0
+    rapid_growth: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at_offset < 0:
+            raise ScenarioError("scripted create offset must be >= 0")
+        if self.initial_data_gb < 0:
+            raise ScenarioError("scripted create size must be >= 0")
+
+
+@dataclass(frozen=True)
+class BenchmarkScenario:
+    """Everything needed to run one benchmark, declaratively."""
+
+    name: str
+    model_document: TotoModelDocument
+    seed: int = 42
+    plb_salt: int = 0
+    duration: int = 6 * DAY
+    ring: TenantRingConfig = field(default_factory=TenantRingConfig)
+    initial_population: Optional[InitialPopulationSpec] = None
+    #: Time between bootstrap placement and the official experiment
+    #: start; growth is frozen and the PLB balances the initial
+    #: population ("This also allows the PLB to properly place and
+    #: balance the databases throughout the cluster", §5.2).
+    bootstrap_settle: int = 2 * HOUR
+    telemetry_interval: int = HOUR
+    run_population_manager: bool = True
+    #: Hand-scripted creates replayed on top of the churn (use case (c):
+    #: reproducing production incidents).
+    scripted_creates: Tuple[ScriptedCreate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario needs a name")
+        if self.duration <= 0:
+            raise ScenarioError(f"duration must be > 0, got {self.duration}")
+        if self.bootstrap_settle < 0:
+            raise ScenarioError("bootstrap_settle must be >= 0")
+        if self.telemetry_interval <= 0:
+            raise ScenarioError("telemetry_interval must be > 0")
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration / HOUR
+
+    def with_density(self, density: float) -> "BenchmarkScenario":
+        """Copy with a different density knob (the §5 sweep)."""
+        pct = int(round(density * 100))
+        return replace(self,
+                       name=f"{self.name}@{pct}%",
+                       ring=replace(self.ring, density=density))
+
+    def with_plb_salt(self, salt: int) -> "BenchmarkScenario":
+        """Copy varying only the PLB randomness (repeatability study)."""
+        return replace(self, name=f"{self.name}#plb{salt}", plb_salt=salt)
+
+    def with_duration(self, duration: int) -> "BenchmarkScenario":
+        """Copy with a different run length."""
+        return replace(self, duration=duration)

@@ -1,0 +1,98 @@
+"""Database subset selectors.
+
+Paper §3.3.1: model objects "contain a description of the resource they
+are modeling, the set of databases it applies to (e.g., all remote
+store databases), and the periodicity of reporting". A selector is the
+"set of databases" part — declarative, XML-serializable, and cheap to
+evaluate on every metric-report RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import ModelSpecError
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import Edition
+
+
+@dataclass(frozen=True)
+class DatabaseSelector:
+    """Predicate over databases.
+
+    All specified conditions must hold (conjunction). An empty selector
+    matches every database.
+    """
+
+    edition: Optional[Edition] = None
+    slo_names: Optional[FrozenSet[str]] = None
+    db_ids: Optional[FrozenSet[str]] = None
+    min_cores: Optional[int] = None
+    max_cores: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.min_cores is not None and self.max_cores is not None
+                and self.min_cores > self.max_cores):
+            raise ModelSpecError(
+                f"min_cores {self.min_cores} > max_cores {self.max_cores}")
+
+    def matches(self, database: DatabaseInstance) -> bool:
+        """True when ``database`` satisfies every condition."""
+        if self.edition is not None and database.edition is not self.edition:
+            return False
+        if self.slo_names is not None and database.slo.name not in self.slo_names:
+            return False
+        if self.db_ids is not None and database.db_id not in self.db_ids:
+            return False
+        if self.min_cores is not None and database.slo.cores < self.min_cores:
+            return False
+        if self.max_cores is not None and database.slo.cores > self.max_cores:
+            return False
+        return True
+
+    # -- XML attribute (de)serialization --------------------------------
+
+    def to_attributes(self) -> Dict[str, str]:
+        """Flatten to XML attributes."""
+        attributes: Dict[str, str] = {}
+        if self.edition is not None:
+            attributes["edition"] = self.edition.value
+        if self.slo_names is not None:
+            attributes["slos"] = ",".join(sorted(self.slo_names))
+        if self.db_ids is not None:
+            attributes["dbIds"] = ",".join(sorted(self.db_ids))
+        if self.min_cores is not None:
+            attributes["minCores"] = str(self.min_cores)
+        if self.max_cores is not None:
+            attributes["maxCores"] = str(self.max_cores)
+        return attributes
+
+    @classmethod
+    def from_attributes(cls, attributes: Dict[str, str]) -> "DatabaseSelector":
+        """Parse from XML attributes (inverse of :meth:`to_attributes`)."""
+        edition: Optional[Edition] = None
+        if "edition" in attributes:
+            value = attributes["edition"]
+            try:
+                edition = Edition(value)
+            except ValueError:
+                raise ModelSpecError(f"unknown edition '{value}'") from None
+        slo_names = (frozenset(attributes["slos"].split(","))
+                     if "slos" in attributes else None)
+        db_ids = (frozenset(attributes["dbIds"].split(","))
+                  if "dbIds" in attributes else None)
+        min_cores = (int(attributes["minCores"])
+                     if "minCores" in attributes else None)
+        max_cores = (int(attributes["maxCores"])
+                     if "maxCores" in attributes else None)
+        return cls(edition=edition, slo_names=slo_names, db_ids=db_ids,
+                   min_cores=min_cores, max_cores=max_cores)
+
+
+#: Selector matching all remote-store databases.
+ALL_STANDARD_GP = DatabaseSelector(edition=Edition.STANDARD_GP)
+#: Selector matching all local-store databases.
+ALL_PREMIUM_BC = DatabaseSelector(edition=Edition.PREMIUM_BC)
+#: Selector matching every database.
+ALL_DATABASES = DatabaseSelector()

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the Toto reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Raised for scheduling into the past, running a stopped kernel, or
+    re-entrant ``run`` calls.
+    """
+
+
+class FabricError(ReproError):
+    """Base class for orchestrator (Service-Fabric-like) errors."""
+
+
+class PlacementError(FabricError):
+    """The PLB could not place a replica anywhere in the cluster."""
+
+
+class CapacityError(FabricError):
+    """An operation would exceed a node's physical capacity."""
+
+
+class NamingServiceError(FabricError):
+    """A Naming Service read/write failed (e.g. missing key)."""
+
+
+class UnknownReplicaError(FabricError):
+    """A replica id was not found in the cluster."""
+
+
+class SqlDbError(ReproError):
+    """Base class for SQL DB substrate errors."""
+
+
+class UnknownSloError(SqlDbError):
+    """An SLO name was not found in the catalog."""
+
+
+class UnknownDatabaseError(SqlDbError):
+    """A database id was not found in the tenant ring."""
+
+
+class AdmissionRejected(SqlDbError):
+    """The control plane redirected a create request to another ring.
+
+    This is the paper's "creation redirect" (Figure 10): the cluster does
+    not have enough free logical capacity to admit the database.
+    """
+
+    def __init__(self, message: str, *, required_cores: int = 0,
+                 free_cores: int = 0) -> None:
+        super().__init__(message)
+        self.required_cores = required_cores
+        self.free_cores = free_cores
+
+
+class ModelError(ReproError):
+    """Base class for behaviour-model errors."""
+
+
+class ModelSpecError(ModelError):
+    """A model XML blob or model parameter set is invalid."""
+
+
+class TrainingError(ModelError):
+    """Model training received unusable telemetry."""
+
+
+class ScenarioError(ReproError):
+    """A benchmark scenario specification is invalid."""

@@ -1,0 +1,25 @@
+"""Experiment drivers: one module per paper figure/table family.
+
+* :mod:`repro.experiments.scenarios` — the canonical paper scenario
+  (14-node gen5 ring, Table 2 population, trained models);
+* :mod:`repro.experiments.density` — the §5 density study
+  (Figures 2, 10, 11, 12, 14; Tables 2, 3);
+* :mod:`repro.experiments.nondeterminism` — the §5.3.4 repeatability
+  study (Figure 13);
+* :mod:`repro.experiments.demographics` — the §2 telemetry views
+  (Figures 3a, 3b, 6);
+* :mod:`repro.experiments.model_validation` — the §4 validation
+  (Figures 7, 8, 9) and the model-selection ablation;
+* :mod:`repro.experiments.sensitivity` — configuration-change sweeps
+  (the paper's use case (a));
+* :mod:`repro.experiments.export` — JSON archival of runs/studies;
+* :mod:`repro.experiments.report` — plain-text table rendering shared
+  by the benchmarks.
+"""
+
+from repro.experiments.density import DensityStudy
+from repro.experiments.scenarios import paper_scenario, trained_artifacts
+from repro.experiments.sensitivity import ConfigSweep, Variant
+
+__all__ = ["ConfigSweep", "DensityStudy", "Variant", "paper_scenario",
+           "trained_artifacts"]

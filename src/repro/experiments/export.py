@@ -1,0 +1,107 @@
+"""JSON export of benchmark results.
+
+Turns a :class:`repro.core.BenchmarkResult` (or a whole density study)
+into a plain-JSON artifact so results can be archived, diffed between
+code versions, and plotted outside this package — the moral equivalent
+of the telemetry extracts behind the paper's figures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Union
+
+from repro.core.runner import BenchmarkResult
+from repro.experiments.density import DensityStudy
+
+
+def result_to_dict(result: BenchmarkResult) -> Dict[str, Any]:
+    """Flatten one run into JSON-serializable primitives."""
+    scenario = result.scenario
+    kpis = result.kpis
+    failovers = kpis.failovers
+    return {
+        "scenario": {
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "plb_salt": scenario.plb_salt,
+            "duration_hours": scenario.duration_hours,
+            "density": scenario.ring.density,
+            "node_count": scenario.ring.node_count,
+        },
+        "bootstrap": {
+            "free_cores": result.bootstrap_free_cores,
+            "disk_utilization": result.bootstrap_disk_utilization,
+        },
+        "kpis": {
+            "final_reserved_cores": kpis.final_reserved_cores,
+            "final_disk_gb": kpis.final_disk_gb,
+            "core_utilization": kpis.core_utilization,
+            "disk_utilization": kpis.disk_utilization,
+            "creation_redirects": kpis.creation_redirects,
+            "active_databases": kpis.active_databases,
+        },
+        "failovers": {
+            "count": failovers.count,
+            "total_cores_moved": failovers.total_cores_moved,
+            "gp_cores_moved": failovers.gp_cores_moved,
+            "bc_cores_moved": failovers.bc_cores_moved,
+            "total_downtime_seconds": failovers.total_downtime_seconds,
+            "primary_moves": failovers.primary_moves,
+        },
+        "revenue": {
+            "gross": result.revenue.total_gross,
+            "penalty": result.revenue.total_penalty,
+            "adjusted": result.revenue.total_adjusted,
+            "penalized_databases": result.revenue.penalized_databases,
+        },
+        "hourly": [
+            {
+                "hour": frame.hour_index,
+                "reserved_cores": frame.reserved_cores,
+                "disk_gb": frame.disk_gb,
+                "active_gp": frame.active_gp,
+                "active_bc": frame.active_bc,
+                "redirects": frame.redirects_cumulative,
+                "failover_cores": frame.failover_cores_cumulative,
+            }
+            for frame in result.frames
+        ],
+    }
+
+
+def study_to_dict(study: DensityStudy) -> Dict[str, Any]:
+    """Flatten a density study (all densities) for archival."""
+    study.run()
+    return {
+        "days": study.days,
+        "seed": study.seed,
+        "densities": list(study.densities),
+        "runs": {
+            str(int(round(density * 100))):
+                result_to_dict(study.result(density))
+            for density in study.densities
+        },
+        "figure2": study.figure2_rows(),
+        "figure12a": study.figure12a_rows(),
+        "figure12b": study.figure12b_rows(),
+        "figure14": study.figure14_rows(),
+        "table3": study.table3_rows(),
+    }
+
+
+def write_json(data: Union[BenchmarkResult, DensityStudy, Dict[str, Any]],
+               destination: Union[str, IO[str]],
+               indent: Optional[int] = 2) -> None:
+    """Serialize a result/study/dict to a path or open file handle."""
+    if isinstance(data, BenchmarkResult):
+        payload = result_to_dict(data)
+    elif isinstance(data, DensityStudy):
+        payload = study_to_dict(data)
+    else:
+        payload = data
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+    else:
+        json.dump(payload, destination, indent=indent)

@@ -1,0 +1,127 @@
+"""The §5.3.4 repeatability study (Figure 13).
+
+Three identical 18-hour experiments differing only in the PLB's
+annealing randomness (the one seed the paper could not pin in
+production). The figure shows the dispersion of node-level disk and
+reserved-core readings per run; Wilcoxon signed-rank tests on the
+paired node-level readings quantify that the runs are statistically
+indistinguishable (the paper found 5 of 6 pairwise tests
+insignificant), and the failover counts stay within noise (theirs
+were 1, 0, 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List
+
+import numpy as np
+
+from repro.core.runner import BenchmarkResult, run_scenario
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import paper_scenario
+from repro.stats.descriptive import BoxplotStats, boxplot_stats
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+
+@dataclass(frozen=True)
+class PairwiseTest:
+    """One Wilcoxon comparison between two runs on one metric."""
+
+    metric: str
+    run_a: int
+    run_b: int
+    result: WilcoxonResult
+
+
+class NondeterminismStudy:
+    """Runs N identical scenarios varying only the PLB salt."""
+
+    def __init__(self, repeats: int = 3, hours: float = 18.0,
+                 density: float = 1.1, seed: int = 42) -> None:
+        self.repeats = repeats
+        self.hours = hours
+        self.density = density
+        self.seed = seed
+        self._results: List[BenchmarkResult] = []
+
+    def run(self) -> List[BenchmarkResult]:
+        if not self._results:
+            for salt in range(self.repeats):
+                scenario = paper_scenario(
+                    density=self.density, days=self.hours / 24.0,
+                    seed=self.seed, plb_salt=salt, maintenance=False)
+                self._results.append(run_scenario(scenario))
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+
+    def node_level_readings(self, metric: str) -> List[np.ndarray]:
+        """Per run: the (hour x node) readings flattened node-major.
+
+        ``metric`` is ``"disk"`` or ``"cores"``. Node-major flattening
+        keeps readings *paired* across runs (same node, same hour).
+        """
+        if metric not in ("disk", "cores"):
+            raise ValueError(f"metric must be disk|cores, got '{metric}'")
+        attribute = "node_disk_gb" if metric == "disk" else "node_cores"
+        samples = []
+        for result in self.run():
+            frames = result.frames
+            matrix = np.array([getattr(frame, attribute)
+                               for frame in frames], dtype=float)
+            samples.append(matrix.T.reshape(-1))
+        length = min(sample.shape[0] for sample in samples)
+        return [sample[:length] for sample in samples]
+
+    def dispersion(self, metric: str) -> List[BoxplotStats]:
+        """Figure 13's box plots: one per run."""
+        return [boxplot_stats(sample)
+                for sample in self.node_level_readings(metric)]
+
+    def pairwise_tests(self) -> List[PairwiseTest]:
+        """All pairwise Wilcoxon tests on both metrics (2 x C(n,2))."""
+        tests: List[PairwiseTest] = []
+        for metric in ("disk", "cores"):
+            samples = self.node_level_readings(metric)
+            for a, b in combinations(range(len(samples)), 2):
+                tests.append(PairwiseTest(
+                    metric=metric, run_a=a, run_b=b,
+                    result=wilcoxon_signed_rank(samples[a], samples[b])))
+        return tests
+
+    def insignificant_fraction(self, alpha: float = 0.05) -> float:
+        """Share of pairwise tests that could NOT reject sameness."""
+        tests = self.pairwise_tests()
+        insignificant = sum(1 for t in tests
+                            if not t.result.significant(alpha))
+        return insignificant / len(tests)
+
+    def failover_counts(self) -> List[int]:
+        """Capacity failovers per repeat (the paper saw 1, 0, 1)."""
+        return [result.kpis.failovers.count for result in self.run()]
+
+    # ------------------------------------------------------------------
+
+    def format_report(self) -> str:
+        parts = []
+        for metric, label in (("disk", "node disk GB"),
+                              ("cores", "node reserved cores")):
+            rows = [(f"run {index}", s.count, round(s.mean, 1),
+                     round(s.q1, 1), round(s.median, 1), round(s.q3, 1))
+                    for index, s in enumerate(self.dispersion(metric))]
+            parts.append(format_table(
+                ["run", "n", "mean", "q1", "median", "q3"], rows,
+                title=f"Figure 13 — dispersion of {label}"))
+        test_rows = [(t.metric, f"{t.run_a} vs {t.run_b}",
+                      f"{t.result.p_value:.4f}",
+                      "significant" if t.result.significant()
+                      else "insignificant")
+                     for t in self.pairwise_tests()]
+        parts.append(format_table(
+            ["metric", "pair", "p-value", "alpha=0.05"], test_rows,
+            title="Wilcoxon signed-rank pairwise tests"))
+        parts.append("capacity failovers per run: "
+                     + ", ".join(str(c) for c in self.failover_counts()))
+        return "\n\n".join(parts)

@@ -1,0 +1,59 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmarks regenerate every figure as numbers; these helpers print
+them as aligned tables so ``pytest benchmarks/ --benchmark-only -s``
+reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    for row in string_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(label: str, values: Sequence[float],
+                  every: int = 12) -> str:
+    """Render a long hourly series as a compact sampled row."""
+    sampled = [f"h{index}={_cell(float(value))}"
+               for index, value in enumerate(values)
+               if index % every == 0]
+    return f"{label}: " + "  ".join(sampled)
+
+
+def percent(value: float) -> str:
+    """Render a ratio as a percentage string."""
+    return f"{100.0 * value:+.1f}%"

@@ -1,0 +1,137 @@
+"""Configuration-change evaluation (the paper's use case (a)).
+
+"We are using Toto to: (a) evaluate production configuration changes
+in SQL DB before they deploy (e.g., buffers, placement policies)".
+
+A :class:`ConfigSweep` runs one base scenario under several declarative
+variants — each variant is a named transformation of the scenario —
+and tabulates the KPI deltas against the baseline, which is exactly
+how a change review reads: *if we ship this knob, what happens to
+redirects, failovers, and adjusted revenue?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.runner import BenchmarkResult, run_scenario
+from repro.core.scenario import BenchmarkScenario
+from repro.experiments.report import format_table
+
+Transform = Callable[[BenchmarkScenario], BenchmarkScenario]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One configuration candidate under evaluation."""
+
+    label: str
+    transform: Transform
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """KPI snapshot of one variant run."""
+
+    label: str
+    result: BenchmarkResult
+
+    def kpi_row(self) -> Dict[str, float]:
+        kpis = self.result.kpis
+        return {
+            "reserved_cores": kpis.final_reserved_cores,
+            "disk_utilization": kpis.disk_utilization,
+            "redirects": float(kpis.creation_redirects),
+            "failovers": float(kpis.failovers.count),
+            "failover_cores": kpis.failovers.total_cores_moved,
+            "adjusted_revenue": self.result.revenue.total_adjusted,
+        }
+
+
+class ConfigSweep:
+    """Run a baseline plus variants and diff their KPIs."""
+
+    def __init__(self, baseline: BenchmarkScenario,
+                 variants: Sequence[Variant]) -> None:
+        labels = [variant.label for variant in variants]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate variant labels in {labels}")
+        if "baseline" in labels:
+            raise ValueError("'baseline' is reserved")
+        self.baseline = baseline
+        self.variants = list(variants)
+        self._outcomes: List[VariantOutcome] = []
+
+    def run(self) -> List[VariantOutcome]:
+        """Execute the baseline and every variant (cached)."""
+        if not self._outcomes:
+            self._outcomes.append(VariantOutcome(
+                label="baseline", result=run_scenario(self.baseline)))
+            for variant in self.variants:
+                scenario = variant.transform(self.baseline)
+                scenario = replace(scenario,
+                                   name=f"{self.baseline.name}"
+                                        f"+{variant.label}")
+                self._outcomes.append(VariantOutcome(
+                    label=variant.label, result=run_scenario(scenario)))
+        return list(self._outcomes)
+
+    def outcome(self, label: str) -> VariantOutcome:
+        for candidate in self.run():
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no variant '{label}'")
+
+    def delta_rows(self) -> List[Tuple]:
+        """Per-variant KPI deltas relative to the baseline."""
+        outcomes = self.run()
+        base = outcomes[0].kpi_row()
+        rows: List[Tuple] = []
+        for outcome in outcomes:
+            row = outcome.kpi_row()
+            rows.append((
+                outcome.label,
+                round(row["reserved_cores"]),
+                f"{row['disk_utilization']:.1%}",
+                int(row["redirects"]),
+                int(row["failovers"]),
+                f"{row['adjusted_revenue'] - base['adjusted_revenue']:+,.0f}",
+            ))
+        return rows
+
+    def format_report(self) -> str:
+        return format_table(
+            ["variant", "cores", "disk util", "redirects", "failovers",
+             "Δ adjusted $"],
+            self.delta_rows(),
+            title=f"Config sweep — {self.baseline.name}")
+
+
+# ---------------------------------------------------------------------------
+# Ready-made transforms for common knobs
+# ---------------------------------------------------------------------------
+
+def with_report_interval(seconds: int) -> Variant:
+    """Change how often replicas report load to the PLB."""
+    def transform(scenario: BenchmarkScenario) -> BenchmarkScenario:
+        return replace(scenario,
+                       ring=replace(scenario.ring,
+                                    report_interval=seconds))
+    return Variant(label=f"report-{seconds // 60}min", transform=transform)
+
+
+def with_density(density: float) -> Variant:
+    """Change the density knob (the paper's §5 sweep as a variant)."""
+    def transform(scenario: BenchmarkScenario) -> BenchmarkScenario:
+        return replace(scenario,
+                       ring=replace(scenario.ring, density=density))
+    return Variant(label=f"density-{int(round(density * 100))}",
+                   transform=transform)
+
+def with_greedy_placement() -> Variant:
+    """Disable the PLB's simulated annealing (greedy best-fit)."""
+    def transform(scenario: BenchmarkScenario) -> BenchmarkScenario:
+        return replace(scenario,
+                       ring=replace(scenario.ring, use_annealing=False))
+    return Variant(label="greedy-plb", transform=transform)

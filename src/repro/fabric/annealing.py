@@ -1,0 +1,67 @@
+"""Simulated annealing used by the PLB.
+
+Paper §5.2: "the PLB in Service Fabric uses the Simulated Annealing
+algorithm to decide where to place replicas. Simulated Annealing uses
+randomness to prevent getting stuck in locally optimal solutions". The
+paper could not pin the PLB seed across runs, which produces the
+run-to-run variance quantified in §5.3.4 — our PLB takes its RNG from
+a dedicated stream so experiments can either reproduce or vary it.
+
+:func:`anneal` is a small generic minimizer over an arbitrary state via
+caller-supplied ``neighbour`` and ``energy`` functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+State = TypeVar("State")
+
+
+@dataclass(frozen=True)
+class AnnealResult:
+    """Best state found plus search statistics."""
+
+    state: object
+    energy: float
+    iterations: int
+    accepted_moves: int
+
+
+def anneal(initial: State,
+           energy: Callable[[State], float],
+           neighbour: Callable[[State, np.random.Generator], State],
+           rng: np.random.Generator,
+           iterations: int = 120,
+           initial_temperature: float = 1.0,
+           cooling: float = 0.95) -> AnnealResult:
+    """Minimize ``energy`` starting from ``initial``.
+
+    Uses the Metropolis acceptance rule with geometric cooling. The
+    best state ever visited is returned (not the final state), so a
+    late uphill wander cannot lose an earlier optimum.
+    """
+    current = initial
+    current_energy = energy(current)
+    best = current
+    best_energy = current_energy
+    temperature = initial_temperature
+    accepted = 0
+    for _ in range(iterations):
+        candidate = neighbour(current, rng)
+        candidate_energy = energy(candidate)
+        delta = candidate_energy - current_energy
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            current = candidate
+            current_energy = candidate_energy
+            accepted += 1
+            if current_energy < best_energy:
+                best = current
+                best_energy = current_energy
+        temperature *= cooling
+    return AnnealResult(state=best, energy=best_energy,
+                        iterations=iterations, accepted_moves=accepted)

@@ -1,0 +1,407 @@
+"""The Service-Fabric cluster facade.
+
+Ties nodes, the Naming Service, and the PLB into the single object the
+SQL DB substrate talks to. Exposes the orchestrator API surface Toto
+exercises: create/drop service, report load, and the periodic
+violation sweep that produces failovers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import FabricError, PlacementError, UnknownReplicaError
+from repro.fabric.failover import (
+    REASON_NODE_FAILURE,
+    FailoverRecord,
+    failover_downtime,
+    rebuild_seconds,
+)
+from repro.fabric.metrics import (
+    CPU_CORES,
+    DISK_GB,
+    MEMORY_GB,
+    NodeCapacities,
+)
+from repro.fabric.naming import NamingService
+from repro.fabric.node import Node, total_capacity, total_load
+from repro.fabric.plb import ClusterView, PlacementAndLoadBalancer
+from repro.fabric.replica import Replica, ReplicaRole
+
+FailoverListener = Callable[[FailoverRecord], None]
+
+
+@dataclass
+class ServiceRecord:
+    """Bookkeeping for one deployed service (one database)."""
+
+    service_id: str
+    replica_count: int
+    cpu_cores: float
+    created_at: int
+    replicas: List[Replica] = field(default_factory=list)
+
+    @property
+    def primary(self) -> Replica:
+        for replica in self.replicas:
+            if replica.is_primary:
+                return replica
+        raise FabricError(f"service {self.service_id} has no primary")
+
+    @property
+    def secondaries(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.is_primary]
+
+
+class ServiceFabricCluster(ClusterView):
+    """A cluster of nodes under one PLB, with a Naming Service.
+
+    Args:
+        node_count: number of data-plane nodes.
+        capacities: per-node logical capacities (already density-scaled
+            via :meth:`NodeCapacities.scaled_cpu` by the caller).
+        plb_rng: random stream for the PLB's annealing.
+        use_annealing: False switches the PLB to greedy placement.
+    """
+
+    def __init__(self, node_count: int, capacities: NodeCapacities,
+                 plb_rng: np.random.Generator,
+                 use_annealing: bool = True) -> None:
+        if node_count <= 0:
+            raise FabricError(f"node_count must be positive, got {node_count}")
+        self.nodes: List[Node] = [Node(node_id, capacities)
+                                  for node_id in range(node_count)]
+        self.naming = NamingService()
+        self.plb = PlacementAndLoadBalancer(self.nodes, plb_rng,
+                                            use_annealing=use_annealing)
+        self._services: Dict[str, ServiceRecord] = {}
+        self._replica_ids = itertools.count(1)
+        self._replicas_by_id: Dict[int, Replica] = {}
+        self.failovers: List[FailoverRecord] = []
+        self._failover_listeners: List[FailoverListener] = []
+        #: In-flight replica rebuilds: service id -> finish timestamp.
+        self._rebuilding_until: Dict[str, int] = {}
+        #: Replicas displaced by a node failure still waiting for
+        #: capacity: (replica, failed node, failure time, downtime
+        #: booked at failure).
+        self._pending: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def service_count(self) -> int:
+        return len(self._services)
+
+    def services(self) -> Iterator[ServiceRecord]:
+        return iter(list(self._services.values()))
+
+    def service(self, service_id: str) -> ServiceRecord:
+        record = self._services.get(service_id)
+        if record is None:
+            raise FabricError(f"unknown service '{service_id}'")
+        return record
+
+    def has_service(self, service_id: str) -> bool:
+        return service_id in self._services
+
+    def replicas(self) -> Iterator[Replica]:
+        """All replicas across all services (stable id order)."""
+        return iter([self._replicas_by_id[rid]
+                     for rid in sorted(self._replicas_by_id)])
+
+    def replica(self, replica_id: int) -> Replica:
+        replica = self._replicas_by_id.get(replica_id)
+        if replica is None:
+            raise UnknownReplicaError(f"unknown replica {replica_id}")
+        return replica
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    # -- aggregate capacity views --------------------------------------
+
+    def total_capacity(self, metric: str) -> float:
+        return total_capacity(self.nodes, metric)
+
+    def total_load(self, metric: str) -> float:
+        return total_load(self.nodes, metric)
+
+    def free_capacity(self, metric: str) -> float:
+        return self.total_capacity(metric) - self.total_load(metric)
+
+    def reserved_cores(self) -> float:
+        """Cluster-wide reserved CPU cores (the paper's headline KPI)."""
+        return self.total_load(CPU_CORES)
+
+    def disk_usage_gb(self) -> float:
+        """Cluster-wide reported disk usage."""
+        return self.total_load(DISK_GB)
+
+    def can_fit_service(self, replica_count: int,
+                        loads: Dict[str, float]) -> bool:
+        """Feasibility probe used by admission control (no side effects)."""
+        feasible = sum(1 for node in self.nodes
+                       if all(node.free(metric) >= needed
+                              for metric, needed in loads.items()
+                              if needed > 0))
+        return feasible >= replica_count
+
+    # ------------------------------------------------------------------
+    # Service lifecycle
+    # ------------------------------------------------------------------
+
+    def create_service(self, service_id: str, replica_count: int,
+                       cpu_cores: float, initial_loads: Dict[str, float],
+                       now: int) -> ServiceRecord:
+        """Place a new service's replicas across distinct nodes.
+
+        ``initial_loads`` are per-replica dynamic loads (disk/memory);
+        the CPU reservation is added automatically. Raises
+        :class:`PlacementError` when the cluster cannot host it — the
+        control plane surfaces that as a creation redirect.
+        """
+        if service_id in self._services:
+            raise FabricError(f"service '{service_id}' already exists")
+        if replica_count < 1:
+            raise FabricError(f"replica_count must be >= 1, got {replica_count}")
+        loads = dict(initial_loads)
+        loads[CPU_CORES] = cpu_cores
+        try:
+            node_ids = self.plb.find_placement(service_id, replica_count,
+                                               loads)
+        except PlacementError:
+            # SF-style balancing: relocate existing replicas to make
+            # room, then retry the placement once.
+            moves = self.plb.make_room(now, service_id, replica_count,
+                                       loads, self)
+            self._record_moves(moves)
+            node_ids = self.plb.find_placement(service_id, replica_count,
+                                               loads)
+
+        record = ServiceRecord(service_id=service_id,
+                               replica_count=replica_count,
+                               cpu_cores=cpu_cores, created_at=now)
+        for index, node_id in enumerate(node_ids):
+            role = ReplicaRole.PRIMARY if index == 0 else ReplicaRole.SECONDARY
+            replica = Replica(replica_id=next(self._replica_ids),
+                              service_id=service_id, role=role,
+                              reported=dict(loads))
+            self.nodes[node_id].attach(replica)
+            record.replicas.append(replica)
+            self._replicas_by_id[replica.replica_id] = replica
+        self._services[service_id] = record
+        return record
+
+    def drop_service(self, service_id: str) -> ServiceRecord:
+        """Remove all replicas of a service and free their capacity."""
+        record = self.service(service_id)
+        for replica in record.replicas:
+            if replica.node_id is not None:
+                self.nodes[replica.node_id].detach(replica)
+            del self._replicas_by_id[replica.replica_id]
+        del self._services[service_id]
+        self._rebuilding_until.pop(service_id, None)
+        return record
+
+    # ------------------------------------------------------------------
+    # Load reporting and balancing
+    # ------------------------------------------------------------------
+
+    def report_load(self, replica: Replica, loads: Dict[str, float]) -> None:
+        """A replica reports its (possibly Toto-fabricated) loads."""
+        if replica.node_id is None:
+            raise UnknownReplicaError(
+                f"replica {replica.replica_id} is not placed")
+        self.nodes[replica.node_id].apply_report(replica, loads)
+
+    def sweep_violations(self, now: int) -> List[FailoverRecord]:
+        """Fix disk-capacity violations; returns this sweep's failovers."""
+        self._retry_pending(now)
+        records = self.plb.fix_violations(now, self, metric=DISK_GB)
+        self._record_moves(records)
+        return records
+
+    # ------------------------------------------------------------------
+    # Node failures (§5.2's "intermittent failures")
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int, now: int) -> List[FailoverRecord]:
+        """Take a node down; its replicas are rebuilt elsewhere.
+
+        Replicas that fit on surviving nodes move immediately; the rest
+        go *pending* and are retried every sweep. A pending replica of
+        a single-replica service is a customer outage until placed.
+        """
+        node = self.nodes[node_id]
+        if not node.available:
+            raise FabricError(f"node {node_id} is already down")
+        node.available = False
+        records: List[FailoverRecord] = []
+        for replica in list(node.replicas):
+            record = self.service(replica.service_id)
+            role_at_failure = replica.role
+            # Downtime semantics match a reactive failover: single
+            # replica = reattach window, lost primary = promotion.
+            downtime = failover_downtime(replica, record.replica_count,
+                                         self.plb._rng)
+            node.detach(replica)
+            if (role_at_failure is ReplicaRole.PRIMARY
+                    and record.replica_count > 1):
+                self.promote_new_primary(replica.service_id,
+                                         exclude_replica=replica.replica_id)
+                replica.role = ReplicaRole.SECONDARY
+            target = self.plb.choose_target(replica, node)
+            if target is None:
+                self._pending.append((replica, node, now, downtime,
+                                      role_at_failure))
+                continue
+            target.attach(replica)
+            rebuild = rebuild_seconds(replica.load(DISK_GB),
+                                      record.replica_count)
+            if record.replica_count > 1 and rebuild > 0:
+                self.set_rebuilding(replica.service_id,
+                                    int(now + rebuild))
+            records.append(FailoverRecord(
+                time=now, service_id=replica.service_id,
+                replica_id=replica.replica_id, role=role_at_failure,
+                from_node=node_id, to_node=target.node_id,
+                metric=CPU_CORES, cores_moved=replica.cpu_cores,
+                disk_moved_gb=replica.load(DISK_GB),
+                downtime_seconds=downtime, rebuild_seconds=rebuild,
+                reason=REASON_NODE_FAILURE))
+        self._record_moves(records)
+        return records
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a failed node back (empty; the PLB refills it)."""
+        self.nodes[node_id].available = True
+
+    @property
+    def pending_replicas(self) -> int:
+        """Displaced replicas still waiting for capacity."""
+        return len(self._pending)
+
+    def _retry_pending(self, now: int) -> None:
+        """Try to place replicas displaced by node failures.
+
+        Single-replica services accrue the full waiting time as
+        downtime — the database simply is not running anywhere.
+        """
+        if not self._pending:
+            return
+        still_pending: List[tuple] = []
+        records: List[FailoverRecord] = []
+        for replica, source, since, downtime, role in self._pending:
+            if not self.has_service(replica.service_id):
+                continue  # dropped while pending
+            target = self.plb.choose_target(replica, source)
+            if target is None:
+                still_pending.append((replica, source, since, downtime,
+                                      role))
+                continue
+            target.attach(replica)
+            record = self.service(replica.service_id)
+            total_downtime = downtime
+            if record.replica_count == 1:
+                total_downtime += float(now - since)
+            records.append(FailoverRecord(
+                time=now, service_id=replica.service_id,
+                replica_id=replica.replica_id, role=role,
+                from_node=source.node_id, to_node=target.node_id,
+                metric=CPU_CORES, cores_moved=replica.cpu_cores,
+                disk_moved_gb=replica.load(DISK_GB),
+                downtime_seconds=total_downtime,
+                rebuild_seconds=rebuild_seconds(replica.load(DISK_GB),
+                                                record.replica_count),
+                reason=REASON_NODE_FAILURE))
+        self._pending = still_pending
+        self._record_moves(records)
+
+    def _record_moves(self, records: List[FailoverRecord]) -> None:
+        """Log replica moves and notify listeners (downtime accounting)."""
+        self.failovers.extend(records)
+        for record in records:
+            for listener in self._failover_listeners:
+                listener(record)
+
+    def add_failover_listener(self, listener: FailoverListener) -> None:
+        """Register a callback invoked for every failover record."""
+        self._failover_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # ClusterView protocol (used by the PLB during moves)
+    # ------------------------------------------------------------------
+
+    def replica_count_of(self, service_id: str) -> int:
+        return self.service(service_id).replica_count
+
+    def promote_new_primary(self, service_id: str,
+                            exclude_replica: int) -> None:
+        """Promote a surviving secondary after the primary is moved."""
+        record = self.service(service_id)
+        survivors = [r for r in record.replicas
+                     if r.replica_id != exclude_replica]
+        if not survivors:
+            return
+        # Promote the secondary on the least CPU-loaded node for
+        # determinism; ties break on replica id.
+        def load_key(replica: Replica) -> tuple:
+            node = self.nodes[replica.node_id] if replica.node_id is not None \
+                else None
+            util = node.utilization(CPU_CORES) if node else float("inf")
+            return (util, replica.replica_id)
+
+        promoted = min(survivors, key=load_key)
+        promoted.role = ReplicaRole.PRIMARY
+
+    def rebuilding_until(self, service_id: str) -> int:
+        """Finish time of the service's in-flight rebuild (0 if none)."""
+        return self._rebuilding_until.get(service_id, 0)
+
+    def set_rebuilding(self, service_id: str, until: int) -> None:
+        """Record that a replica rebuild runs until ``until``."""
+        current = self._rebuilding_until.get(service_id, 0)
+        self._rebuilding_until[service_id] = max(current, int(until))
+
+    # ------------------------------------------------------------------
+
+    def validate_invariants(self) -> None:
+        """Assert structural invariants; used by tests and debug runs.
+
+        * every replica is attached to exactly one node,
+        * replicas of one service sit on distinct nodes,
+        * every multi-replica service has exactly one primary,
+        * node aggregates equal the sum of replica reports.
+        """
+        pending_ids = {replica.replica_id
+                       for replica, *_ in self._pending}
+        for record in self._services.values():
+            node_ids = [r.node_id for r in record.replicas
+                        if r.replica_id not in pending_ids]
+            if None in node_ids:
+                raise FabricError(
+                    f"service {record.service_id} has an unplaced replica")
+            if len(set(node_ids)) != len(node_ids):
+                raise FabricError(
+                    f"service {record.service_id} violates anti-affinity")
+            primaries = [r for r in record.replicas if r.is_primary]
+            if len(primaries) != 1:
+                raise FabricError(
+                    f"service {record.service_id} has {len(primaries)} primaries")
+        for node in self.nodes:
+            for metric in (CPU_CORES, DISK_GB, MEMORY_GB):
+                expected = sum(r.load(metric) for r in node.replicas)
+                if abs(expected - node.load(metric)) > 1e-6:
+                    raise FabricError(
+                        f"node {node.node_id} aggregate {metric} drifted: "
+                        f"{node.load(metric)} != {expected}")

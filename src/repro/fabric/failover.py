@@ -1,0 +1,101 @@
+"""Failover records and cost model.
+
+Paper §3.1: exceeding a node's logical capacity forces the PLB to move
+a replica out; "while a failover to the primary is occurring, the
+application may experience a brief moment of unavailability while a
+secondary replica is becoming the primary or a new primary replica is
+built". §5.3.2 adds that moving Premium/BC replicas "is much more
+costly due to the higher disk usage" because the data must be
+physically copied, whereas Standard/GP storage is detached/reattached.
+
+The downtime constants below are synthetic but ordered like production:
+a GP reattach takes tens of seconds; a BC primary swap is a fast
+promotion; a BC secondary move causes no customer-visible downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.fabric.replica import Replica, ReplicaRole
+
+#: Detach/reattach window for a single-replica (remote-store) database:
+#: the remote files are detached, a replica restarted on the new node,
+#: and connections re-established.
+GP_FAILOVER_DOWNTIME_RANGE = (30.0, 90.0)
+#: Promotion of an existing secondary for a local-store database.
+BC_PRIMARY_PROMOTION_RANGE = (8.0, 25.0)
+#: Planned (make-room) moves drain gracefully; the blip is seconds.
+PLANNED_MOVE_DOWNTIME_RANGE = (1.0, 5.0)
+#: Effective copy bandwidth for rebuilding a BC replica (GB/s); only
+#: affects how long the move occupies the cluster, not availability.
+BC_REBUILD_GBPS = 0.35
+
+
+#: The PLB moved a replica because a node exceeded a metric's logical
+#: capacity — the paper's "failover" (§3.1).
+REASON_CAPACITY_VIOLATION = "capacity-violation"
+#: The PLB proactively relocated a replica to make room for a new
+#: placement (Service Fabric's balancing-for-placement behaviour).
+#: Customers still feel the move, but it is not a capacity failover.
+REASON_MAKE_ROOM = "make-room"
+#: A node went down and its replicas were rebuilt elsewhere — the
+#: "intermittent failures that also happen in production" (§5.2).
+REASON_NODE_FAILURE = "node-failure"
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One replica move performed by the PLB."""
+
+    time: int
+    service_id: str
+    replica_id: int
+    role: ReplicaRole
+    from_node: int
+    to_node: int
+    metric: str
+    cores_moved: float
+    disk_moved_gb: float
+    downtime_seconds: float
+    rebuild_seconds: float
+    reason: str = REASON_CAPACITY_VIOLATION
+
+    @property
+    def is_primary(self) -> bool:
+        return self.role is ReplicaRole.PRIMARY
+
+    @property
+    def is_capacity_failover(self) -> bool:
+        """True for the moves the paper's Figure 12(b) counts."""
+        return self.reason == REASON_CAPACITY_VIOLATION
+
+
+def failover_downtime(replica: Replica, replica_count: int,
+                      rng: np.random.Generator,
+                      planned: bool = False) -> float:
+    """Customer-visible downtime (seconds) caused by moving ``replica``.
+
+    Single-replica services incur the reattach window; for
+    multi-replica services only the primary swap is visible. Planned
+    (make-room) moves drain connections gracefully and cost seconds;
+    reactive capacity failovers are abrupt.
+    """
+    if replica_count > 1 and not replica.is_primary:
+        return 0.0
+    if planned:
+        low, high = PLANNED_MOVE_DOWNTIME_RANGE
+        return float(rng.uniform(low, high))
+    if replica_count <= 1:
+        low, high = GP_FAILOVER_DOWNTIME_RANGE
+        return float(rng.uniform(low, high))
+    low, high = BC_PRIMARY_PROMOTION_RANGE
+    return float(rng.uniform(low, high))
+
+
+def rebuild_seconds(disk_gb: float, replica_count: int) -> float:
+    """Background data-copy time for the move (0 for remote-store)."""
+    if replica_count <= 1:
+        return 0.0
+    return disk_gb / BC_REBUILD_GBPS

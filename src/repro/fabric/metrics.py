@@ -1,0 +1,87 @@
+"""Load-metric names and node-level logical capacities.
+
+Paper §3.1: "A metric can be arbitrary and model anything, but usually
+they model system resources such as CPU, memory, and disk. [...] Each
+resource metric has a predefined node-level logical capacity, which
+specifies the load threshold at which PLB will initiate a failover."
+
+CPU is a *reservation* metric in SQL DB — the SLO's core count is
+reserved at placement time and never changes — while disk and memory
+are *dynamic* metrics re-reported by each replica. The density knob the
+paper tunes (§5) multiplies only the CPU logical capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FabricError
+
+#: Reserved logical cores (static per replica, set by the SLO).
+CPU_CORES = "cpu-cores"
+#: Local disk consumption in GB (dynamic, the paper's key resource).
+DISK_GB = "disk-gb"
+#: DRAM consumption in GB (dynamic; modeled as future work in §5.5).
+MEMORY_GB = "memory-gb"
+#: Advisory modeled CPU *usage* in cores (distinct from the enforced
+#: reservation metric); consumed by RgManager's noisy-neighbor
+#: governance, never reported to the PLB.
+CPU_USED_CORES = "cpu-used-cores"
+
+ALL_METRICS = (CPU_CORES, DISK_GB, MEMORY_GB)
+
+#: Metrics that participate in capacity-violation checks by default.
+#: Memory stays advisory (the paper's experiments only govern CPU
+#: reservations and disk).
+ENFORCED_METRICS = (CPU_CORES, DISK_GB)
+
+
+@dataclass(frozen=True)
+class NodeCapacities:
+    """Logical capacities of one node.
+
+    ``cpu_cores`` is the density-scaled reservation budget; nodes refuse
+    placements past it and the control plane redirects creations once
+    the cluster-wide budget is exhausted. ``disk_gb`` is the threshold
+    past which the PLB fails replicas over.
+    """
+
+    cpu_cores: float
+    disk_gb: float
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("cpu_cores", self.cpu_cores),
+                            ("disk_gb", self.disk_gb),
+                            ("memory_gb", self.memory_gb)):
+            if value <= 0:
+                raise FabricError(f"capacity {name} must be positive, "
+                                  f"got {value}")
+
+    def of(self, metric: str) -> float:
+        """Capacity for a metric name."""
+        if metric == CPU_CORES:
+            return self.cpu_cores
+        if metric == DISK_GB:
+            return self.disk_gb
+        if metric == MEMORY_GB:
+            return self.memory_gb
+        raise FabricError(f"unknown metric '{metric}'")
+
+    def scaled_cpu(self, density: float) -> "NodeCapacities":
+        """Return a copy with the CPU budget multiplied by ``density``.
+
+        This is the paper's density knob: "increased density (e.g. 110%)
+        refers to reserving more cores for databases than the predefined
+        logical capacity of the node" (§5).
+        """
+        if density <= 0:
+            raise FabricError(f"density must be positive, got {density}")
+        return NodeCapacities(cpu_cores=self.cpu_cores * density,
+                              disk_gb=self.disk_gb,
+                              memory_gb=self.memory_gb)
+
+
+#: A gen5-style data-plane node (see DESIGN.md §6). 72 logical cores,
+#: 4 TB local SSD, 384 GB DRAM at 100% density.
+GEN5_NODE = NodeCapacities(cpu_cores=72.0, disk_gb=4096.0, memory_gb=384.0)

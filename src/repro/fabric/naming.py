@@ -1,0 +1,102 @@
+"""The Naming Service: Service Fabric's highly available metastore.
+
+Paper §3.3.1: "Naming Service is a highly available metastore database
+in Service Fabric." Toto uses it twice:
+
+* the model XML blob is written under a well-known key and re-read by
+  every RgManager every 15 minutes;
+* *persisted* metric loads (local-store disk) are durably stored so a
+  newly promoted primary resumes from the previous primary's value
+  after a failover (§3.3.2).
+
+The store is versioned per key so tests can assert that a model update
+was actually propagated, and it keeps simple read/write counters which
+the ablation benchmarks use to show the cost of persisted metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List
+
+from repro.errors import NamingServiceError
+
+
+@dataclass
+class _Entry:
+    value: Any
+    version: int
+
+
+class NamingService:
+    """A versioned in-memory key/value metastore.
+
+    Version counters survive deletion: a key deleted and re-created
+    continues its version sequence. This matters for the model-XML
+    refresh protocol — RgManagers compare version numbers to detect
+    changes, so a delete + re-publish must never reuse an old version.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        self._version_counters: Dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def put(self, key: str, value: Any) -> int:
+        """Store ``value`` under ``key``; returns the new version."""
+        self.writes += 1
+        version = self._version_counters.get(key, 0) + 1
+        self._version_counters[key] = version
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = _Entry(value=value, version=version)
+        else:
+            entry.value = value
+            entry.version = version
+        return version
+
+    def get(self, key: str) -> Any:
+        """Return the value for ``key``; raises if absent."""
+        self.reads += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            raise NamingServiceError(f"key '{key}' not found")
+        return entry.value
+
+    def get_or_default(self, key: str, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default`` when absent."""
+        self.reads += 1
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def version(self, key: str) -> int:
+        """Version counter for ``key`` (0 when absent)."""
+        entry = self._entries.get(key)
+        return 0 if entry is None else entry.version
+
+    def exists(self, key: str) -> bool:
+        return key in self._entries
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``; raises if absent."""
+        if key not in self._entries:
+            raise NamingServiceError(f"key '{key}' not found")
+        del self._entries[key]
+
+    def delete_if_exists(self, key: str) -> bool:
+        """Remove ``key`` if present; returns whether it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def keys(self, prefix: str = "") -> List[str]:
+        """All keys starting with ``prefix``, sorted."""
+        return sorted(k for k in self._entries if k.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))

@@ -1,0 +1,394 @@
+"""The Placement and Load Balancer (PLB).
+
+Paper §3.1: the PLB "decides the placement and movement of databases",
+distributes a service's replicas across distinct nodes, aggregates the
+dynamic load metrics, and — when a node's aggregate load exceeds the
+node-level logical capacity — "will select a replica on the heavily
+loaded node and move it to another node in the cluster" (a failover).
+
+Placement search uses simulated annealing over candidate node sets, as
+Service Fabric's PLB does (§5.2); a greedy mode exists as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.fabric.annealing import anneal
+from repro.fabric.failover import (
+    REASON_CAPACITY_VIOLATION,
+    REASON_MAKE_ROOM,
+    FailoverRecord,
+    failover_downtime,
+    rebuild_seconds,
+)
+from repro.fabric.metrics import CPU_CORES, DISK_GB, MEMORY_GB
+from repro.fabric.node import Node
+from repro.fabric.replica import Replica, ReplicaRole
+
+#: Hard cap on replica moves per violation sweep, so a cluster that is
+#: globally out of disk cannot spin the balancer forever.
+MAX_MOVES_PER_SWEEP = 64
+
+#: Cap on proactive relocations the PLB performs to make room for one
+#: new placement.
+MAX_MAKE_ROOM_MOVES = 6
+
+
+@dataclass
+class PlbStats:
+    """Counters exposed for telemetry and tests."""
+
+    placements: int = 0
+    placement_failures: int = 0
+    moves: int = 0
+    make_room_moves: int = 0
+    stuck_violations: int = 0
+    anneal_iterations: int = 0
+
+
+class PlacementAndLoadBalancer:
+    """Places replicas and fixes capacity violations by failing over.
+
+    Args:
+        nodes: the cluster's nodes (shared, live objects).
+        rng: the PLB's private random stream. The paper could not pin
+            this seed across repeated runs; experiments model that by
+            deriving it per run unless explicitly pinned.
+        use_annealing: when False, placement is purely greedy
+            (best-fit); this is the ablation mode.
+        anneal_iterations: annealing budget per placement decision.
+    """
+
+    def __init__(self, nodes: Sequence[Node], rng: np.random.Generator,
+                 use_annealing: bool = True,
+                 anneal_iterations: int = 80,
+                 cpu_weight: float = 1.0,
+                 disk_weight: float = 0.05) -> None:
+        self._nodes = list(nodes)
+        self._rng = rng
+        self.use_annealing = use_annealing
+        self.anneal_iterations = anneal_iterations
+        #: Placement-energy weights. CPU (the reservation metric) is
+        #: the primary balancing objective, as in Service Fabric's
+        #: default metric weighting; disk is governed *reactively*
+        #: through capacity violations, so it gets a low proactive
+        #: weight. (Weighting disk highly would mask the density
+        #: effect the paper measures: placement would pre-balance away
+        #: the very imbalance that causes failovers.)
+        self.cpu_weight = cpu_weight
+        self.disk_weight = disk_weight
+        self.stats = PlbStats()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def find_placement(self, service_id: str, replica_count: int,
+                       loads: Dict[str, float]) -> List[int]:
+        """Choose ``replica_count`` distinct nodes for a new service.
+
+        ``loads`` are the per-replica loads the placement must fit
+        (CPU reservation plus initial disk/memory). Returns node ids;
+        raises :class:`PlacementError` when no feasible assignment
+        exists — the control plane turns that into a creation redirect.
+        """
+        feasible = [node for node in self._nodes
+                    if self._fits(node, loads)
+                    and not node.hosts_service(service_id)]
+        if len(feasible) < replica_count:
+            self.stats.placement_failures += 1
+            raise PlacementError(
+                f"service {service_id} needs {replica_count} nodes, "
+                f"only {len(feasible)} feasible")
+
+        # Greedy seed: spread onto the nodes with the most free CPU.
+        feasible.sort(key=lambda n: (-n.free(CPU_CORES), n.node_id))
+        initial = tuple(node.node_id for node in feasible[:replica_count])
+        if not self.use_annealing or len(feasible) == replica_count:
+            self.stats.placements += 1
+            return list(initial)
+
+        by_id = {node.node_id: node for node in feasible}
+        candidate_ids = [node.node_id for node in feasible]
+
+        def energy(selection: Tuple[int, ...]) -> float:
+            return self._selection_energy(selection, loads)
+
+        def neighbour(selection: Tuple[int, ...],
+                      rng: np.random.Generator) -> Tuple[int, ...]:
+            chosen = list(selection)
+            outside = [nid for nid in candidate_ids if nid not in selection]
+            if not outside:
+                return selection
+            swap_at = int(rng.integers(len(chosen)))
+            chosen[swap_at] = outside[int(rng.integers(len(outside)))]
+            return tuple(chosen)
+
+        result = anneal(initial, energy, neighbour, self._rng,
+                        iterations=self.anneal_iterations)
+        self.stats.anneal_iterations += result.iterations
+        self.stats.placements += 1
+        selection = list(result.state)  # type: ignore[arg-type]
+        assert len(set(selection)) == len(selection)
+        assert all(nid in by_id for nid in selection)
+        return selection
+
+    def make_room(self, now: int, service_id: str, replica_count: int,
+                  loads: Dict[str, float],
+                  cluster: "ClusterView") -> List[FailoverRecord]:
+        """Relocate replicas so a blocked placement becomes feasible.
+
+        Service Fabric's PLB does not give up when no node currently
+        has headroom for a new replica: it balances existing replicas
+        away first. This is what lets a higher-density cluster admit a
+        large database that a lower-density cluster must redirect
+        (the paper's §5.3.1 crossover). Returns the balancing moves
+        performed (possibly none); the caller re-checks feasibility.
+        """
+        records: List[FailoverRecord] = []
+        for _ in range(MAX_MAKE_ROOM_MOVES):
+            feasible = [node for node in self._nodes
+                        if self._fits(node, loads)
+                        and not node.hosts_service(service_id)]
+            if len(feasible) >= replica_count:
+                break
+            move = self._one_make_room_move(now, service_id, loads, cluster)
+            if move is None:
+                break
+            records.append(move)
+        return records
+
+    def _one_make_room_move(self, now: int, service_id: str,
+                            loads: Dict[str, float],
+                            cluster: "ClusterView"
+                            ) -> Optional[FailoverRecord]:
+        """Shed one replica from the node closest to hosting the new one."""
+        needed_cpu = loads.get(CPU_CORES, 0.0)
+        candidates = []
+        for node in self._nodes:
+            if node.hosts_service(service_id):
+                continue
+            if self._fits(node, loads):
+                continue  # already feasible; nothing to free here
+            # Only CPU can be freed by moving reservations; give up on
+            # nodes blocked by disk or memory.
+            blocked_by_other = any(
+                loads.get(metric, 0.0) > 0
+                and node.free(metric) < loads.get(metric, 0.0)
+                for metric in (DISK_GB, MEMORY_GB))
+            if blocked_by_other:
+                continue
+            shortfall = needed_cpu - node.free(CPU_CORES)
+            if shortfall > 0:
+                candidates.append((shortfall, node))
+        candidates.sort(key=lambda pair: (pair[0], pair[1].node_id))
+        for _, node in candidates:
+            shortfall = needed_cpu - node.free(CPU_CORES)
+            movable = sorted(
+                (r for r in node.replicas if r.cpu_cores > 0),
+                key=lambda r: (r.cpu_cores < shortfall,  # prefer one-shot
+                               r.is_primary,             # secondaries first
+                               r.load(DISK_GB), r.replica_id))
+            for replica in movable:
+                target = self._choose_target(replica, node)
+                if target is None:
+                    continue
+                record = self._move(now, replica, node, target, CPU_CORES,
+                                    cluster, reason=REASON_MAKE_ROOM)
+                self.stats.make_room_moves += 1
+                return record
+        return None
+
+    def _fits(self, node: Node, loads: Dict[str, float]) -> bool:
+        """Whether a replica with ``loads`` fits within node capacity."""
+        if not node.available:
+            return False
+        for metric in (CPU_CORES, DISK_GB, MEMORY_GB):
+            needed = loads.get(metric, 0.0)
+            if needed > 0 and node.free(metric) < needed:
+                return False
+        return True
+
+    def _selection_energy(self, selection: Tuple[int, ...],
+                          loads: Dict[str, float]) -> float:
+        """Cluster imbalance after hypothetically placing on ``selection``.
+
+        Sum of squared per-node utilizations over CPU and disk; squaring
+        penalizes hot nodes, which is what drives load-spreading.
+        """
+        chosen = set(selection)
+        energy = 0.0
+        for node in self._nodes:
+            cpu = node.load(CPU_CORES)
+            disk = node.load(DISK_GB)
+            if node.node_id in chosen:
+                cpu += loads.get(CPU_CORES, 0.0)
+                disk += loads.get(DISK_GB, 0.0)
+            energy += self.cpu_weight * (cpu / node.capacities.cpu_cores) ** 2
+            energy += self.disk_weight * (disk / node.capacities.disk_gb) ** 2
+        return energy
+
+    # ------------------------------------------------------------------
+    # Capacity violations / failovers
+    # ------------------------------------------------------------------
+
+    def fix_violations(self, now: int, cluster: "ClusterView",
+                       metric: str = DISK_GB) -> List[FailoverRecord]:
+        """Move replicas off nodes whose ``metric`` load exceeds capacity.
+
+        Mirrors §3.1: one replica at a time is selected on the heavily
+        loaded node and moved to another node; repeats until the node is
+        back under its logical capacity or no move is possible.
+        """
+        records: List[FailoverRecord] = []
+        moves_left = MAX_MOVES_PER_SWEEP
+        for node in self._nodes:
+            if not node.available:
+                continue
+            while node.violates(metric) and moves_left > 0:
+                record = self._relieve_node(now, node, metric, cluster)
+                if record is None:
+                    self.stats.stuck_violations += 1
+                    break
+                records.append(record)
+                moves_left -= 1
+        return records
+
+    def _relieve_node(self, now: int, node: Node, metric: str,
+                      cluster: "ClusterView") -> Optional[FailoverRecord]:
+        """Move one replica off ``node`` to relieve a ``metric`` violation."""
+        excess = node.load(metric) - node.capacities.of(metric)
+        movable = [replica for replica in node.replicas
+                   if replica.load(metric) > 0.0]
+        if not movable:
+            return None
+        # Prefer the smallest replica that clears the violation in one
+        # move (minimizes customer capacity moved); fall back through
+        # progressively smaller replicas when the preferred one has no
+        # feasible target — on a nearly full cluster, shedding load in
+        # smaller pieces is how the violation still gets fixed (at the
+        # cost of many more failovers, which is exactly the high-density
+        # pain the paper quantifies).
+        covering = sorted((r for r in movable if r.load(metric) >= excess),
+                          key=lambda r: (r.load(metric), r.replica_id))
+        non_covering = sorted((r for r in movable if r.load(metric) < excess),
+                              key=lambda r: (-r.load(metric), r.replica_id))
+        for replica in covering + non_covering:
+            target = self._choose_target(replica, node)
+            if target is not None:
+                return self._move(now, replica, node, target, metric,
+                                  cluster)
+        return None
+
+    def choose_target(self, replica: Replica,
+                      source: Node) -> Optional[Node]:
+        """Target selection for externally driven moves (node failures)."""
+        return self._choose_target(replica, source)
+
+    def _choose_target(self, replica: Replica,
+                       source: Node) -> Optional[Node]:
+        """Best node to receive ``replica`` (least disk-utilized fit)."""
+        candidates = []
+        for node in self._nodes:
+            if node.node_id == source.node_id:
+                continue
+            if node.hosts_service(replica.service_id):
+                continue
+            if not self._fits(node, replica.reported):
+                continue
+            candidates.append(node)
+        if not candidates:
+            return None
+        if self.use_annealing and len(candidates) > 1:
+            # Annealing over a single choice degenerates to a softmax-ish
+            # randomized pick among the best few targets — keep the top
+            # three by projected disk utilization and pick randomly.
+            candidates.sort(key=lambda n: ((n.load(DISK_GB)
+                                            + replica.load(DISK_GB))
+                                           / n.capacities.disk_gb,
+                                           n.node_id))
+            top = candidates[:3]
+            return top[int(self._rng.integers(len(top)))]
+        return min(candidates,
+                   key=lambda n: ((n.load(DISK_GB) + replica.load(DISK_GB))
+                                  / n.capacities.disk_gb, n.node_id))
+
+    def _move(self, now: int, replica: Replica, source: Node, target: Node,
+              metric: str, cluster: "ClusterView",
+              reason: str = REASON_CAPACITY_VIOLATION) -> FailoverRecord:
+        """Execute the move and produce its record."""
+        replica_count = cluster.replica_count_of(replica.service_id)
+        downtime = failover_downtime(replica, replica_count, self._rng,
+                                     planned=reason == REASON_MAKE_ROOM)
+        rebuild = rebuild_seconds(replica.load(DISK_GB), replica_count)
+        role_at_move = replica.role
+
+        # Rebuild-window vulnerability: while a previous move's replica
+        # rebuild is still copying data, the service has no fully built
+        # secondary. Forcing the *primary* out during that window means
+        # waiting for the rebuild to finish — minutes of unavailability
+        # instead of a quick promotion. This is what makes failover
+        # storms (many moves hitting the same services in a short span)
+        # so much more damaging than isolated failovers.
+        rebuilding_until = cluster.rebuilding_until(replica.service_id)
+        if (replica_count > 1 and role_at_move is ReplicaRole.PRIMARY
+                and rebuilding_until > now
+                and reason == REASON_CAPACITY_VIOLATION):
+            downtime = max(downtime,
+                           float(min(rebuilding_until - now, 3600)))
+        if replica_count > 1 and rebuild > 0:
+            cluster.set_rebuilding(replica.service_id,
+                                   int(now + rebuild))
+
+        source.detach(replica)
+        # A moved primary of a multi-replica service is demoted: one of
+        # the surviving secondaries is promoted in its place (§3.1).
+        if role_at_move is ReplicaRole.PRIMARY and replica_count > 1:
+            cluster.promote_new_primary(replica.service_id,
+                                        exclude_replica=replica.replica_id)
+            replica.role = ReplicaRole.SECONDARY
+        target.attach(replica)
+        self.stats.moves += 1
+
+        return FailoverRecord(
+            time=now,
+            service_id=replica.service_id,
+            replica_id=replica.replica_id,
+            role=role_at_move,
+            from_node=source.node_id,
+            to_node=target.node_id,
+            metric=metric,
+            cores_moved=replica.cpu_cores,
+            disk_moved_gb=replica.load(DISK_GB),
+            downtime_seconds=downtime,
+            rebuild_seconds=rebuild,
+            reason=reason,
+        )
+
+
+class ClusterView:
+    """Protocol the PLB needs from the cluster facade.
+
+    Documented as a plain base class (duck typing would do, but the
+    explicit contract keeps the dependency direction visible).
+    """
+
+    def replica_count_of(self, service_id: str) -> int:
+        raise NotImplementedError
+
+    def promote_new_primary(self, service_id: str,
+                            exclude_replica: int) -> None:
+        raise NotImplementedError
+
+    def rebuilding_until(self, service_id: str) -> int:
+        """Timestamp until which a replica rebuild is in flight (0 if
+        none)."""
+        raise NotImplementedError
+
+    def set_rebuilding(self, service_id: str, until: int) -> None:
+        raise NotImplementedError

@@ -1,0 +1,67 @@
+"""Model training framework (paper §4).
+
+Turns production telemetry (here: the synthetic corpus from
+:mod:`repro.telemetry.production`) into the model parameters Toto
+executes:
+
+* :mod:`repro.models.hourly` — hourly aggregation and the K-S
+  normality screening of Figure 7;
+* :mod:`repro.models.delta_disk` — Delta Disk Usage computation and
+  the steady / initial / rapid pattern labeling of §4.2;
+* :mod:`repro.models.training` — end-to-end trainers producing
+  :class:`repro.core.CreateDropModel`, the disk growth specs, and a
+  complete, publishable :class:`repro.core.TotoModelDocument`;
+* :mod:`repro.models.validation` — the 100-run simulation validation
+  of Figure 8 and the cumulative-disk comparison of Figure 9;
+* :mod:`repro.models.baselines` — the KDE and customized-binning
+  alternatives the paper evaluated and rejected (§4.2.2), with the
+  DTW/RMSE comparison that justified hourly-normal.
+"""
+
+from repro.models.baselines import BinnedDeltaModel, KdeDeltaModel
+from repro.models.diagnostics import (
+    ScheduleDiagnostics,
+    diagnose_schedule,
+    diagnose_trace,
+    diurnal_strength,
+)
+from repro.models.delta_disk import (
+    DeltaDiskDataset,
+    build_delta_disk_dataset,
+    label_initial_growth,
+)
+from repro.models.hourly import HourlyTrainingSets, ks_screening
+from repro.models.training import (
+    train_create_drop_model,
+    train_disk_usage_model,
+    train_model_document,
+    train_population_models,
+)
+from repro.models.validation import (
+    simulate_event_counts,
+    simulate_steady_disk,
+    validate_create_drop,
+    validate_disk_model,
+)
+
+__all__ = [
+    "BinnedDeltaModel",
+    "DeltaDiskDataset",
+    "ScheduleDiagnostics",
+    "diagnose_schedule",
+    "diagnose_trace",
+    "diurnal_strength",
+    "HourlyTrainingSets",
+    "KdeDeltaModel",
+    "build_delta_disk_dataset",
+    "ks_screening",
+    "label_initial_growth",
+    "simulate_event_counts",
+    "simulate_steady_disk",
+    "train_create_drop_model",
+    "train_disk_usage_model",
+    "train_model_document",
+    "train_population_models",
+    "validate_create_drop",
+    "validate_disk_model",
+]

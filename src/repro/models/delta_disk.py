@@ -1,0 +1,278 @@
+"""Delta Disk Usage dataset construction and pattern labeling (§4.2).
+
+"We modeled this by discretizing the disk usage for each database into
+20 minute time periods and computing the Delta Disk Usage. [...] we
+observed that around 99.8% of the time across databases and time
+stamps the disk usage showed a steady-state growth pattern. For the
+remaining 0.2%, it was dominated by initial creation growth and
+predictable rapid growth patterns."
+
+Labeling rules implemented from the paper:
+
+* **initial creation growth** — "databases [...] labeled 'High Initial
+  Growth' if they had growth more than 12 GB within the first five
+  minutes of the database's lifetime" (we test the first 20-minute
+  period against the pro-rated threshold);
+* **predictable rapid growth** — databases whose delta series shows
+  repeated large spikes followed by comparable decreases;
+* everything else is **steady state**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.core.disk_models import HIGH_INITIAL_GROWTH_LABEL_GB
+from repro.core.hourly_schedule import DayType
+from repro.telemetry.production import (
+    DiskUsageTrace,
+    PERIODS_PER_DAY,
+    PERIODS_PER_HOUR,
+)
+from repro.units import DELTA_DISK_PERIOD, MINUTE
+
+#: The paper labels databases "High Initial Growth" when they grow more
+#: than 12 GB within the first five minutes; our telemetry is
+#: discretized at 20 minutes (the paper's own Delta Disk granularity),
+#: so the rule is applied to the first 20-minute period. A database
+#: that crossed 12 GB in 5 minutes certainly crossed it in 20.
+INITIAL_GROWTH_PERIOD_THRESHOLD_GB = HIGH_INITIAL_GROWTH_LABEL_GB
+
+#: A delta counts as a "rapid spike" when it exceeds this many *robust*
+#: standard deviations (1.4826 x MAD) of the database's own delta
+#: series. MAD keeps the noise floor unaffected by the spikes being
+#: detected, unlike a plain standard deviation.
+RAPID_SPIKE_SIGMA = 6.0
+#: Minimum paired up/down spikes for the rapid-growth label.
+RAPID_MIN_CYCLES = 2
+
+
+def robust_sigma(deltas: np.ndarray) -> float:
+    """Noise scale estimate that ignores outliers (1.4826 x MAD)."""
+    if deltas.size == 0:
+        return 0.0
+    mad = float(np.median(np.abs(deltas - np.median(deltas))))
+    return 1.4826 * mad
+
+
+def label_initial_growth(trace: DiskUsageTrace) -> bool:
+    """Apply the 12 GB-in-5-minutes rule to a trace's first period."""
+    deltas = trace.deltas()
+    if deltas.size == 0:
+        raise TrainingError("trace too short to label")
+    return bool(deltas[0] >= INITIAL_GROWTH_PERIOD_THRESHOLD_GB)
+
+
+def label_rapid_growth(trace: DiskUsageTrace) -> bool:
+    """Detect the spike-up / spike-down ETL signature (§4.2.4)."""
+    deltas = trace.deltas()
+    if deltas.size < PERIODS_PER_DAY:
+        return False
+    # Exclude the initial-creation window from spike statistics.
+    body = deltas[PERIODS_PER_HOUR:]
+    sigma = robust_sigma(body)
+    if sigma == 0:
+        return False
+    threshold = RAPID_SPIKE_SIGMA * sigma
+    ups = int(np.sum(body > threshold))
+    downs = int(np.sum(body < -threshold))
+    return min(ups, downs) >= RAPID_MIN_CYCLES
+
+
+@dataclass
+class DeltaDiskDataset:
+    """The partitioned Delta Disk Usage training corpus.
+
+    Attributes:
+        steady_by_cell: steady-state deltas grouped by (day type,
+            hour) — the hourly-normal training sets of §4.2.2.
+        initial_totals: per-database 30-minute totals of the
+            high-initial-growth subset (§4.2.3).
+        initial_probability: fraction of databases labeled high
+            initial growth.
+        rapid_increase: spike-up magnitudes of the rapid subset.
+        rapid_decrease: spike-down magnitudes (positive values).
+        rapid_probability: fraction of databases labeled rapid.
+        rapid_state_periods: average periods spent per state, keyed
+            steady/increase/between/decrease.
+        steady_fraction: share of (database, period) samples labeled
+            steady — the paper reports ~99.8%.
+    """
+
+    steady_by_cell: Dict[Tuple[DayType, int], List[float]]
+    initial_totals: List[float]
+    initial_probability: float
+    rapid_increase: List[float]
+    rapid_decrease: List[float]
+    rapid_probability: float
+    rapid_state_periods: Dict[str, float]
+    steady_fraction: float
+
+
+def build_delta_disk_dataset(traces: List[DiskUsageTrace],
+                             start_weekday: int = 0) -> DeltaDiskDataset:
+    """Partition a disk corpus into the three §4.2 training sets."""
+    if not traces:
+        raise TrainingError("empty disk corpus")
+
+    steady_by_cell: Dict[Tuple[DayType, int], List[float]] = {}
+    initial_totals: List[float] = []
+    rapid_increase: List[float] = []
+    rapid_decrease: List[float] = []
+    rapid_dbs = 0
+    initial_dbs = 0
+    special_samples = 0
+    total_samples = 0
+    state_period_sums = {"steady": 0.0, "increase": 0.0,
+                         "between": 0.0, "decrease": 0.0}
+    state_period_counts = {key: 0 for key in state_period_sums}
+
+    initial_periods = (30 * MINUTE) // DELTA_DISK_PERIOD + 1
+
+    for trace in traces:
+        deltas = trace.deltas()
+        total_samples += deltas.size
+        is_initial = label_initial_growth(trace)
+        is_rapid = label_rapid_growth(trace)
+
+        start_index = 0
+        if is_initial:
+            initial_dbs += 1
+            window = deltas[:initial_periods]
+            initial_totals.append(float(window.sum()))
+            special_samples += window.size
+            start_index = initial_periods
+
+        body = deltas[start_index:]
+        if is_rapid:
+            rapid_dbs += 1
+            spikes = _extract_rapid(body, rapid_increase, rapid_decrease,
+                                    state_period_sums, state_period_counts)
+            special_samples += spikes
+            # Non-spike periods still train the steady model.
+            _collect_steady(body, start_index, start_weekday,
+                            steady_by_cell, exclude_spikes=True)
+        else:
+            _collect_steady(body, start_index, start_weekday,
+                            steady_by_cell, exclude_spikes=False)
+
+    n_databases = len(traces)
+    state_periods = {
+        key: (state_period_sums[key] / state_period_counts[key]
+              if state_period_counts[key] else 0.0)
+        for key in state_period_sums
+    }
+    return DeltaDiskDataset(
+        steady_by_cell=steady_by_cell,
+        initial_totals=initial_totals,
+        initial_probability=initial_dbs / n_databases,
+        rapid_increase=rapid_increase,
+        rapid_decrease=rapid_decrease,
+        rapid_probability=rapid_dbs / n_databases,
+        rapid_state_periods=state_periods,
+        steady_fraction=1.0 - (special_samples / max(total_samples, 1)),
+    )
+
+
+def _collect_steady(deltas: np.ndarray, offset_periods: int,
+                    start_weekday: int,
+                    steady_by_cell: Dict[Tuple[DayType, int], List[float]],
+                    exclude_spikes: bool) -> None:
+    """Append steady samples into their (day type, hour) cells."""
+    if deltas.size == 0:
+        return
+    threshold = None
+    if exclude_spikes:
+        sigma = robust_sigma(deltas)
+        threshold = RAPID_SPIKE_SIGMA * sigma if sigma > 0 else None
+    for index, delta in enumerate(deltas):
+        if threshold is not None and abs(float(delta)) > threshold:
+            continue
+        period = offset_periods + index
+        hour = (period // PERIODS_PER_HOUR) % 24
+        day = period // PERIODS_PER_DAY
+        daytype = (DayType.WEEKEND if (start_weekday + day) % 7 >= 5
+                   else DayType.WEEKDAY)
+        steady_by_cell.setdefault((daytype, hour), []).append(float(delta))
+
+
+def _extract_rapid(deltas: np.ndarray, increases: List[float],
+                   decreases: List[float],
+                   state_period_sums: Dict[str, float],
+                   state_period_counts: Dict[str, int]) -> int:
+    """Extract spike magnitudes and state durations from a rapid trace.
+
+    Returns the number of samples attributed to the special pattern.
+    """
+    sigma = robust_sigma(deltas)
+    if sigma == 0:
+        return 0
+    threshold = RAPID_SPIKE_SIGMA * sigma
+    spike_samples = 0
+
+    # Walk the series accumulating contiguous spike runs and the gaps
+    # between them; a run of positive spikes is one "increase" state.
+    state = "steady"
+    run_total = 0.0
+    run_length = 0
+    gap_length = 0
+    seen_increase = False
+
+    def close_run(kind: str) -> None:
+        nonlocal run_total, run_length
+        if run_length == 0:
+            return
+        if kind == "increase":
+            increases.append(run_total)
+        else:
+            decreases.append(abs(run_total))
+        state_period_sums[kind] += run_length
+        state_period_counts[kind] += 1
+        run_total = 0.0
+        run_length = 0
+
+    for delta in deltas:
+        value = float(delta)
+        if value > threshold:
+            if state == "decrease":
+                close_run("decrease")
+            if state != "increase" and gap_length:
+                kind = "between" if seen_increase else "steady"
+                state_period_sums[kind] += gap_length
+                state_period_counts[kind] += 1
+                gap_length = 0
+            state = "increase"
+            seen_increase = True
+            run_total += value
+            run_length += 1
+            spike_samples += 1
+        elif value < -threshold:
+            if state == "increase":
+                close_run("increase")
+            if state != "decrease" and gap_length:
+                state_period_sums["between"] += gap_length
+                state_period_counts["between"] += 1
+                gap_length = 0
+            state = "decrease"
+            run_total += value
+            run_length += 1
+            spike_samples += 1
+        else:
+            if state == "increase":
+                close_run("increase")
+                state = "steady"
+            elif state == "decrease":
+                close_run("decrease")
+                state = "steady"
+            gap_length += 1
+    if state in ("increase", "decrease"):
+        close_run(state)
+    elif gap_length:
+        kind = "steady" if not seen_increase else "steady"
+        state_period_sums[kind] += gap_length
+        state_period_counts[kind] += 1
+    return spike_samples

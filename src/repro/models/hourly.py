@@ -1,0 +1,81 @@
+"""Hourly aggregation and normality screening (paper §4.1).
+
+The paper aggregates create/drop events to one-hour buckets ("if the
+analysis was performed on the granularity of seconds or a minute,
+there would be a low probability of a create or drop event
+occurring"), groups them by (weekday/weekend, hour), and runs a K-S
+normality test per group (Figure 7). :class:`HourlyTrainingSets` is
+that grouping; :func:`ks_screening` reproduces the figure's p-values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TrainingError
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.stats.distributions import NormalDistribution
+from repro.stats.ks import KsTestResult, ks_normality_test
+from repro.telemetry.production import HourlyEventTrace
+
+Key = Tuple[DayType, int]
+
+
+@dataclass
+class HourlyTrainingSets:
+    """The 48 per-(day type, hour) training samples for one trace."""
+
+    groups: Dict[Key, List[float]]
+
+    @classmethod
+    def from_trace(cls, trace: HourlyEventTrace) -> "HourlyTrainingSets":
+        groups: Dict[Key, List[float]] = {}
+        for (weekend, hour), values in trace.hourly_samples().items():
+            daytype = DayType.WEEKEND if weekend else DayType.WEEKDAY
+            groups[(daytype, hour)] = [float(v) for v in values]
+        return cls(groups=groups)
+
+    def sample(self, daytype: DayType, hour: int) -> List[float]:
+        key = (daytype, hour)
+        if key not in self.groups:
+            raise TrainingError(
+                f"no training data for {daytype.value} hour {hour}")
+        return self.groups[key]
+
+    def fit_schedule(self) -> HourlyNormalSchedule:
+        """Fit a normal per cell — the paper's "hourly normal" model."""
+        schedule = HourlyNormalSchedule()
+        for (daytype, hour), values in self.groups.items():
+            fitted = NormalDistribution.fit(values)
+            schedule.set(daytype, hour, fitted.mu, fitted.sigma)
+        return schedule
+
+
+def ks_screening(sets: HourlyTrainingSets,
+                 daytype: DayType) -> List[Optional[KsTestResult]]:
+    """K-S normality test per hour of one day type (Figure 7).
+
+    Returns 24 entries; ``None`` marks hours whose sample was
+    degenerate (too small or zero variance), which the paper's box
+    plots simply omit.
+    """
+    results: List[Optional[KsTestResult]] = []
+    for hour in range(24):
+        key = (daytype, hour)
+        values = sets.groups.get(key)
+        if values is None:
+            results.append(None)
+            continue
+        try:
+            results.append(ks_normality_test(values))
+        except TrainingError:
+            results.append(None)
+    return results
+
+
+def ks_p_values(sets: HourlyTrainingSets, daytype: DayType) -> List[float]:
+    """Just the defined p-values for one day type's 24 hours."""
+    return [result.p_value
+            for result in ks_screening(sets, daytype)
+            if result is not None]

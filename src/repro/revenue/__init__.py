@@ -1,0 +1,28 @@
+"""Modeled adjusted revenue (paper §5.1).
+
+Revenue = compute (SLO price x lifetime) + storage (data size x GB
+price x lifetime); the penalty subtracts SLA service credits whenever a
+database was down 0.01% or more of its lifetime. Adjusted revenue "is
+a means to normalize density and failovers" — it is what turns the
+density/QoS trade-off into a single score (Figures 2 and 14).
+"""
+
+from repro.revenue.adjusted import (
+    AdjustedRevenueReport,
+    DatabaseRevenue,
+    adjusted_revenue_report,
+    database_revenue,
+)
+from repro.revenue.pricing import PriceCatalog, STANDARD_PRICES
+from repro.revenue.sla import SLA_UPTIME_TARGET, ServiceCreditSchedule
+
+__all__ = [
+    "AdjustedRevenueReport",
+    "DatabaseRevenue",
+    "PriceCatalog",
+    "STANDARD_PRICES",
+    "SLA_UPTIME_TARGET",
+    "ServiceCreditSchedule",
+    "adjusted_revenue_report",
+    "database_revenue",
+]

@@ -1,0 +1,139 @@
+"""Adjusted-revenue computation over a run's database population.
+
+Per database: ``adjusted = compute + storage - penalty`` where the
+penalty is the SLA service credit applied to the bill when the
+database's downtime fraction reaches 0.01% of its lifetime (§5.1).
+Storage is billed on the database's *data* size — for local-store
+databases that is the primary replica's disk usage; for remote-store
+databases it is the (remote) data size, which we approximate with the
+initial data size since GP data never touches the governed local disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.fabric.naming import NamingService
+from repro.fabric.metrics import DISK_GB
+from repro.revenue.pricing import PriceCatalog, STANDARD_PRICES
+from repro.revenue.sla import DEFAULT_CREDITS, ServiceCreditSchedule
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import Edition
+from repro.sqldb.rgmanager import persisted_load_key
+from repro.units import HOUR, HOURS_PER_MONTH
+
+
+@dataclass(frozen=True)
+class DatabaseRevenue:
+    """Revenue decomposition for one database."""
+
+    db_id: str
+    edition: Edition
+    lifetime_hours: float
+    compute_revenue: float
+    storage_revenue: float
+    penalty: float
+    downtime_fraction: float
+
+    @property
+    def gross(self) -> float:
+        return self.compute_revenue + self.storage_revenue
+
+    @property
+    def adjusted(self) -> float:
+        return self.gross - self.penalty
+
+    @property
+    def penalized(self) -> bool:
+        return self.penalty > 0
+
+
+@dataclass(frozen=True)
+class AdjustedRevenueReport:
+    """Population-level roll-up (Figure 14)."""
+
+    per_database: tuple
+    total_gross: float
+    total_penalty: float
+    total_adjusted: float
+    penalized_databases: int
+    gp_adjusted: float
+    bc_adjusted: float
+
+    @property
+    def penalty_share(self) -> float:
+        """Penalty as a fraction of gross revenue."""
+        if self.total_gross == 0:
+            return 0.0
+        return self.total_penalty / self.total_gross
+
+
+def _billed_data_gb(database: DatabaseInstance,
+                    naming: Optional[NamingService]) -> float:
+    """Data size the storage bill is based on."""
+    if database.is_local_store and naming is not None:
+        persisted = naming.get_or_default(
+            persisted_load_key(database.db_id, DISK_GB))
+        if persisted is not None:
+            return float(persisted)
+    return database.initial_data_gb
+
+
+def database_revenue(database: DatabaseInstance, now: int,
+                     prices: PriceCatalog = STANDARD_PRICES,
+                     credits: ServiceCreditSchedule = DEFAULT_CREDITS,
+                     naming: Optional[NamingService] = None
+                     ) -> DatabaseRevenue:
+    """Compute one database's modeled adjusted revenue at time ``now``."""
+    lifetime_hours = database.lifetime_seconds(now) / HOUR
+    hourly_rate = prices.compute_hourly(database.slo)
+    compute = hourly_rate * lifetime_hours
+    data_gb = _billed_data_gb(database, naming)
+    storage_rate = prices.storage_hourly_per_gb(database.edition) * data_gb
+    storage = storage_rate * lifetime_hours
+
+    downtime_fraction = database.downtime_fraction(now)
+    uptime_fraction = 1.0 - downtime_fraction
+    penalty = 0.0
+    credit = credits.credit_fraction(uptime_fraction)
+    if credit > 0:
+        # Per the public SLA, a service credit is a percentage of the
+        # *monthly* bill, regardless of how far into the month the
+        # breach occurred. Capped at the revenue actually accrued so a
+        # single database never scores negative.
+        monthly_bill = (hourly_rate + storage_rate) * HOURS_PER_MONTH
+        penalty = min(credit * monthly_bill, compute + storage)
+
+    return DatabaseRevenue(
+        db_id=database.db_id,
+        edition=database.edition,
+        lifetime_hours=lifetime_hours,
+        compute_revenue=compute,
+        storage_revenue=storage,
+        penalty=penalty,
+        downtime_fraction=downtime_fraction,
+    )
+
+
+def adjusted_revenue_report(databases: List[DatabaseInstance], now: int,
+                            prices: PriceCatalog = STANDARD_PRICES,
+                            credits: ServiceCreditSchedule = DEFAULT_CREDITS,
+                            naming: Optional[NamingService] = None
+                            ) -> AdjustedRevenueReport:
+    """Roll up adjusted revenue over every database a run ever hosted."""
+    rows = [database_revenue(db, now, prices, credits, naming)
+            for db in databases]
+    gp_adjusted = sum(r.adjusted for r in rows
+                      if r.edition is Edition.STANDARD_GP)
+    bc_adjusted = sum(r.adjusted for r in rows
+                      if r.edition is Edition.PREMIUM_BC)
+    return AdjustedRevenueReport(
+        per_database=tuple(rows),
+        total_gross=sum(r.gross for r in rows),
+        total_penalty=sum(r.penalty for r in rows),
+        total_adjusted=sum(r.adjusted for r in rows),
+        penalized_databases=sum(1 for r in rows if r.penalized),
+        gp_adjusted=gp_adjusted,
+        bc_adjusted=bc_adjusted,
+    )

@@ -1,0 +1,60 @@
+"""Price catalog (paper §5.1, ref [9]: the public Azure pricing page).
+
+"The modeled revenue of each database (the price the customer paid)
+was determined by its SLO. For a single database, the compute revenue
+was calculated by multiplying the price of database instance by the
+lifetime of the database. The storage revenue was calculated by
+multiplying the size of the data by the price of storage and the
+lifetime of the database."
+
+The constants approximate the public vCore pricing shape: BC compute
+costs roughly 2x GP per core (local SSD + 4x replication), and BC
+storage is roughly 2x GP storage per GB-month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+from repro.sqldb.editions import Edition
+from repro.sqldb.slo import ServiceLevelObjective
+from repro.units import HOURS_PER_MONTH
+
+
+@dataclass(frozen=True)
+class PriceCatalog:
+    """Hourly compute and monthly storage prices per edition (USD)."""
+
+    compute_per_core_hour: Dict[Edition, float]
+    storage_per_gb_month: Dict[Edition, float]
+
+    def __post_init__(self) -> None:
+        for edition in Edition:
+            if edition not in self.compute_per_core_hour:
+                raise ReproError(f"no compute price for {edition.value}")
+            if edition not in self.storage_per_gb_month:
+                raise ReproError(f"no storage price for {edition.value}")
+
+    def compute_hourly(self, slo: ServiceLevelObjective) -> float:
+        """Hourly compute price for an SLO (customers pay per database,
+        not per replica — replication cost is folded into the BC rate)."""
+        return self.compute_per_core_hour[slo.edition] * slo.cores
+
+    def storage_hourly_per_gb(self, edition: Edition) -> float:
+        """Hourly storage price per GB."""
+        return self.storage_per_gb_month[edition] / HOURS_PER_MONTH
+
+
+#: Default catalog modeled on public gen5 vCore pricing.
+STANDARD_PRICES = PriceCatalog(
+    compute_per_core_hour={
+        Edition.STANDARD_GP: 0.2529,
+        Edition.PREMIUM_BC: 0.5491,
+    },
+    storage_per_gb_month={
+        Edition.STANDARD_GP: 0.115,
+        Edition.PREMIUM_BC: 0.25,
+    },
+)

@@ -1,0 +1,61 @@
+"""SLA service credits (paper §5.1, ref [55]).
+
+"The service-level agreement (SLA) for Azure SQL DB is 99.99%. To
+compute modeled adjusted revenue, we assumed that if a database was
+down 0.01% or more of its lifetime, service credits based on the SLA
+would be paid back to the customer and subtracted from the revenue."
+
+The tier structure follows the public Azure SQL DB SLA: uptime below
+99.99% refunds 10% of the bill, below 99% refunds 25%, and below 95%
+refunds 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ReproError
+
+#: The Azure SQL DB availability target.
+SLA_UPTIME_TARGET = 0.9999
+
+
+@dataclass(frozen=True)
+class ServiceCreditSchedule:
+    """Mapping from uptime fraction to refunded fraction of the bill.
+
+    ``tiers`` are (uptime_below, credit_fraction) pairs ordered from
+    the loosest threshold to the tightest; the first matching tier
+    applies (evaluation walks from the most severe).
+    """
+
+    tiers: Tuple[Tuple[float, float], ...] = (
+        (0.95, 1.00),
+        (0.99, 0.25),
+        (SLA_UPTIME_TARGET, 0.10),
+    )
+
+    def __post_init__(self) -> None:
+        previous = -1.0
+        for uptime_below, credit in self.tiers:
+            if not 0.0 < uptime_below <= 1.0:
+                raise ReproError(f"bad uptime threshold {uptime_below}")
+            if not 0.0 <= credit <= 1.0:
+                raise ReproError(f"bad credit fraction {credit}")
+            if uptime_below <= previous:
+                raise ReproError("tiers must be strictly increasing")
+            previous = uptime_below
+
+    def credit_fraction(self, uptime_fraction: float) -> float:
+        """Refunded fraction of the bill for an observed uptime."""
+        if not 0.0 <= uptime_fraction <= 1.0 + 1e-12:
+            raise ReproError(f"uptime fraction {uptime_fraction} out of range")
+        for uptime_below, credit in self.tiers:
+            if uptime_fraction < uptime_below:
+                return credit
+        return 0.0
+
+
+#: The default schedule used by all experiments.
+DEFAULT_CREDITS = ServiceCreditSchedule()

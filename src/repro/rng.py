@@ -1,0 +1,79 @@
+"""Deterministic random-number streams.
+
+The paper (§5.2) fixes determinism "by explicitly setting the seeds of
+all the random objects used within the code": the Population Manager has
+a single seed, every node's RgManager/Toto models get a unique seed via
+the model XML, and the PLB has its own seed that — as in production —
+is *not* pinned across repeated experiments unless requested.
+
+:class:`RngRegistry` mirrors that scheme. A single root seed fans out to
+named child streams through :class:`numpy.random.SeedSequence`, so the
+stream for ``("node", 3, "disk")`` is stable no matter in which order
+streams are created.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+import numpy as np
+
+Token = Union[str, int]
+
+
+def _spawn_key(tokens: Iterable[Token]) -> Tuple[int, ...]:
+    """Map a name path to a deterministic integer spawn key.
+
+    Strings are hashed with a stable FNV-1a so the key does not depend on
+    ``PYTHONHASHSEED``; integers pass through.
+    """
+    key = []
+    for token in tokens:
+        if isinstance(token, int):
+            key.append(token & 0xFFFFFFFF)
+        else:
+            acc = 0x811C9DC5
+            for byte in token.encode("utf-8"):
+                acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+            key.append(acc)
+    return tuple(key)
+
+
+class RngRegistry:
+    """Factory for named, reproducible :class:`numpy.random.Generator`\\ s.
+
+    >>> rng = RngRegistry(root_seed=42)
+    >>> a = rng.stream("population-manager")
+    >>> b = rng.stream("node", 0, "disk")
+    >>> a is rng.stream("population-manager")
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: Dict[Tuple[int, ...], np.random.Generator] = {}
+
+    def stream(self, *name: Token) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        key = _spawn_key(name)
+        generator = self._streams.get(key)
+        if generator is None:
+            seq = np.random.SeedSequence(entropy=self.root_seed,
+                                         spawn_key=key)
+            generator = np.random.Generator(np.random.PCG64(seq))
+            self._streams[key] = generator
+        return generator
+
+    def derive_seed(self, *name: Token) -> int:
+        """Return a stable 32-bit integer seed for ``name``.
+
+        Used where a component (e.g. the model XML) carries a scalar seed
+        rather than a generator.
+        """
+        seq = np.random.SeedSequence(entropy=self.root_seed,
+                                     spawn_key=_spawn_key(name))
+        return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+    def fork(self, *name: Token) -> "RngRegistry":
+        """Return a child registry rooted at a seed derived from ``name``."""
+        return RngRegistry(self.derive_seed(*name))

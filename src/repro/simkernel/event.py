@@ -1,0 +1,76 @@
+"""Events and the pending-event queue.
+
+Events are ordered by ``(time, sequence)``: events scheduled for the same
+instant fire in scheduling order, which keeps runs fully deterministic
+without relying on callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation timestamp at which the callback fires.
+        sequence: tie-breaker preserving scheduling order.
+        callback: the zero-argument callable to invoke (excluded from
+            ordering comparisons).
+        label: human-readable tag used in tracing and error messages.
+    """
+
+    time: int
+    sequence: int
+    callback: Callback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule at negative time {time}")
+        event = Event(time=int(time), sequence=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

@@ -1,0 +1,96 @@
+"""The simulation kernel: clock + event queue + run loop."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.simkernel.clock import SimClock
+from repro.simkernel.event import Callback, Event, EventQueue
+
+
+class SimulationKernel:
+    """Drives a discrete-event simulation to completion.
+
+    Components schedule callbacks with :meth:`schedule` (absolute time)
+    or :meth:`schedule_after` (relative delay); :meth:`run_until`
+    executes events in timestamp order, advancing the shared clock.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self._queue = EventQueue()
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._queue)
+
+    def schedule(self, time: int, callback: Callback,
+                 label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule '{label}' at {time}, now is {self.clock.now}")
+        return self._queue.push(time, callback, label)
+
+    def schedule_after(self, delay: int, callback: Callback,
+                       label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for '{label}'")
+        return self._queue.push(self.clock.now + delay, callback, label)
+
+    def run_until(self, end_time: int) -> None:
+        """Execute events in order until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are *not* executed, so
+        consecutive ``run_until`` calls partition time into half-open
+        intervals ``[start, end)``. The clock always finishes at
+        ``end_time`` even if the queue drains early.
+        """
+        if self._running:
+            raise SimulationError("run_until is not re-entrant")
+        if end_time < self.clock.now:
+            raise SimulationError(
+                f"end_time {end_time} is before now {self.clock.now}")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time >= end_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.clock.advance_to(event.time)
+                event.callback()
+                self.events_executed += 1
+            self.clock.advance_to(end_time)
+        finally:
+            self._running = False
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Execute every pending event (bounded by ``max_events``)."""
+        if self._running:
+            raise SimulationError("run_to_completion is not re-entrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                event = self._queue.pop()
+                if event is None:
+                    break
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a scheduling loop")
+                self.clock.advance_to(event.time)
+                event.callback()
+                self.events_executed += 1
+        finally:
+            self._running = False

@@ -1,0 +1,73 @@
+"""Periodic processes (daemons) on top of the kernel.
+
+The system contains several strictly periodic actors: replicas report
+load every report interval, RgManager refreshes model XML every 15
+minutes, and the Population Manager "wakes up at the top of each hour"
+(paper §3.3.3). :class:`PeriodicProcess` encapsulates the reschedule
+loop so those actors are plain callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simkernel.event import Event
+from repro.simkernel.kernel import SimulationKernel
+
+Tick = Callable[[int], None]
+
+
+class PeriodicProcess:
+    """Invokes ``tick(now)`` every ``period`` seconds once started."""
+
+    def __init__(self, kernel: SimulationKernel, period: int, tick: Tick,
+                 label: str = "periodic", align_to_period: bool = False) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._kernel = kernel
+        self.period = int(period)
+        self._tick = tick
+        self.label = label
+        self.align_to_period = align_to_period
+        self._next_event: Optional[Event] = None
+        self.ticks_fired = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the process has a pending tick scheduled."""
+        return self._next_event is not None
+
+    def start(self, first_at: Optional[int] = None) -> None:
+        """Begin ticking.
+
+        If ``align_to_period`` is set and ``first_at`` is omitted, the
+        first tick lands on the next multiple of ``period`` (the
+        Population Manager's "top of each hour"). Otherwise the first
+        tick defaults to one period from now.
+        """
+        if self._next_event is not None:
+            raise SimulationError(f"process '{self.label}' already started")
+        now = self._kernel.now
+        if first_at is None:
+            if self.align_to_period:
+                first_at = ((now // self.period) + 1) * self.period
+            else:
+                first_at = now + self.period
+        self._next_event = self._kernel.schedule(first_at, self._fire,
+                                                 label=self.label)
+
+    def stop(self) -> None:
+        """Cancel the pending tick; the process can be started again."""
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def _fire(self) -> None:
+        now = self._kernel.now
+        # Reschedule before ticking so a tick that raises does not leave
+        # the process half-stopped, and so a tick may call stop().
+        self._next_event = self._kernel.schedule(now + self.period,
+                                                 self._fire, label=self.label)
+        self.ticks_fired += 1
+        self._tick(now)

@@ -1,0 +1,65 @@
+"""SQL DB editions and storage kinds.
+
+Paper §2: "Remote-store databases include editions like 'Standard DTU'
+and 'General Purpose VCore' (GP) [...] Local-store databases include
+editions like 'Premium DTU' and 'Business Critical VCore' (BC) and the
+database files are stored on the compute node local SSDs. For
+redundancy, these local-store databases are also replicated four times
+on four different compute nodes."
+
+The paper's models treat the two edition families as the unit of
+demographic segmentation, so we collapse (Standard DTU, GP vCore) into
+``STANDARD_GP`` and (Premium DTU, BC vCore) into ``PREMIUM_BC``, as the
+paper itself does throughout §4-5.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StorageKind(enum.Enum):
+    """Where a database's data files live."""
+
+    REMOTE = "remote"
+    LOCAL_SSD = "local-ssd"
+
+
+class Edition(enum.Enum):
+    """The two edition families the paper models."""
+
+    STANDARD_GP = "Standard/GP"
+    PREMIUM_BC = "Premium/BC"
+
+    @property
+    def storage(self) -> StorageKind:
+        """Remote store for GP, local SSD for BC."""
+        if self is Edition.STANDARD_GP:
+            return StorageKind.REMOTE
+        return StorageKind.LOCAL_SSD
+
+    @property
+    def replica_count(self) -> int:
+        """GP runs a single replica; BC is replicated four times (§2)."""
+        if self is Edition.STANDARD_GP:
+            return 1
+        return 4
+
+    @property
+    def is_local_store(self) -> bool:
+        return self.storage is StorageKind.LOCAL_SSD
+
+    @property
+    def short_name(self) -> str:
+        """Compact label used in reports ('GP' / 'BC')."""
+        return "GP" if self is Edition.STANDARD_GP else "BC"
+
+
+#: Local tempdb footprint a remote-store replica starts with; tempdb is
+#: the only local disk a GP database consumes (§2) and it is lost on
+#: failover (§3.3.2).
+GP_TEMPDB_BASELINE_GB = 8.0
+
+#: Cold memory footprint of a freshly (re)started replica; after a
+#: failover the buffer pool restarts cold (§3.3.2).
+COLD_BUFFER_POOL_GB = 2.0

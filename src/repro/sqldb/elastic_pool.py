@@ -1,0 +1,176 @@
+"""Elastic Pools — the paper's §5.5 future-work population extension.
+
+"For our experiments the population of databases was restricted to SQL
+DB singletons, but other offerings such as Elastic Pools (which allow
+for multi-tenancy inside a single SQL DB instance) will add to
+environment accuracy."
+
+An elastic pool purchases one SLO's worth of resources and hosts many
+member databases inside it. From the orchestrator's point of view a
+pool is a single service (one reservation, one disk footprint); from
+the customer's point of view it holds N databases whose data all lands
+on the pool's replicas. That is exactly how we model it:
+
+* the pool itself is a :class:`DatabaseInstance` created through the
+  normal control-plane path (so placement, Toto's disk models, failover
+  downtime, and revenue all apply unchanged);
+* members are tracked by the :class:`ElasticPoolManager`, and adding or
+  removing a member adjusts the pool's billed data size and — for
+  local-store pools — its persisted disk load in the Naming Service, so
+  the next metric report reflects the membership change immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SqlDbError
+from repro.fabric.metrics import DISK_GB
+from repro.sqldb.control_plane import ControlPlane
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.rgmanager import persisted_load_key
+
+
+@dataclass
+class PoolMember:
+    """One customer database living inside a pool."""
+
+    name: str
+    data_gb: float
+    added_at: int
+    removed_at: Optional[int] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.removed_at is None
+
+
+@dataclass
+class ElasticPool:
+    """A pool: the hosting database plus its member registry."""
+
+    database: DatabaseInstance
+    members: List[PoolMember] = field(default_factory=list)
+
+    @property
+    def pool_id(self) -> str:
+        return self.database.db_id
+
+    @property
+    def active_members(self) -> List[PoolMember]:
+        return [member for member in self.members if member.is_active]
+
+    @property
+    def member_data_gb(self) -> float:
+        return sum(member.data_gb for member in self.active_members)
+
+    def member(self, name: str) -> PoolMember:
+        for candidate in self.members:
+            if candidate.name == name and candidate.is_active:
+                return candidate
+        raise SqlDbError(f"pool {self.pool_id} has no active member "
+                         f"'{name}'")
+
+
+class ElasticPoolManager:
+    """Creates pools and manages their membership on one ring."""
+
+    #: Fixed per-pool overhead (system databases, tempdb, metadata).
+    POOL_OVERHEAD_GB = 4.0
+
+    def __init__(self, control_plane: ControlPlane) -> None:
+        self._control_plane = control_plane
+        self._pools: Dict[str, ElasticPool] = {}
+
+    # ------------------------------------------------------------------
+
+    def pools(self) -> List[ElasticPool]:
+        return list(self._pools.values())
+
+    def pool(self, pool_id: str) -> ElasticPool:
+        pool = self._pools.get(pool_id)
+        if pool is None:
+            raise SqlDbError(f"unknown pool '{pool_id}'")
+        return pool
+
+    def create_pool(self, slo_name: str, now: int) -> ElasticPool:
+        """Provision an empty pool with the given SLO.
+
+        Raises :class:`repro.errors.AdmissionRejected` exactly like a
+        singleton create when the ring lacks capacity.
+        """
+        database = self._control_plane.create_database(
+            slo_name=slo_name, now=now,
+            initial_data_gb=self.POOL_OVERHEAD_GB)
+        pool = ElasticPool(database=database)
+        self._pools[pool.pool_id] = pool
+        return pool
+
+    def drop_pool(self, pool_id: str, now: int) -> ElasticPool:
+        """Drop a pool and everything inside it."""
+        pool = self.pool(pool_id)
+        for member in pool.active_members:
+            member.removed_at = now
+        self._control_plane.drop_database(pool_id, now)
+        del self._pools[pool_id]
+        return pool
+
+    # ------------------------------------------------------------------
+
+    def add_member(self, pool_id: str, name: str, data_gb: float,
+                   now: int) -> PoolMember:
+        """Create a database inside the pool."""
+        if data_gb < 0:
+            raise SqlDbError(f"member '{name}' has negative size")
+        pool = self.pool(pool_id)
+        if not pool.database.is_active:
+            raise SqlDbError(f"pool {pool_id} is dropped")
+        if any(member.name == name for member in pool.active_members):
+            raise SqlDbError(f"pool {pool_id} already has member '{name}'")
+        headroom = pool.database.slo.max_data_gb \
+            - pool.member_data_gb - self.POOL_OVERHEAD_GB
+        if data_gb > headroom:
+            raise SqlDbError(
+                f"pool {pool_id} has {headroom:.0f} GB headroom, member "
+                f"'{name}' needs {data_gb:.0f}")
+        member = PoolMember(name=name, data_gb=data_gb, added_at=now)
+        pool.members.append(member)
+        self._apply_disk_delta(pool, +data_gb)
+        return member
+
+    def remove_member(self, pool_id: str, name: str, now: int) -> PoolMember:
+        """Drop one member database from the pool."""
+        pool = self.pool(pool_id)
+        member = pool.member(name)
+        member.removed_at = now
+        self._apply_disk_delta(pool, -member.data_gb)
+        return member
+
+    def move_member(self, source_pool_id: str, target_pool_id: str,
+                    name: str, now: int) -> PoolMember:
+        """Move a member between pools (a common rebalancing action)."""
+        member = self.pool(source_pool_id).member(name)
+        self.remove_member(source_pool_id, name, now)
+        return self.add_member(target_pool_id, name, member.data_gb, now)
+
+    # ------------------------------------------------------------------
+
+    def _apply_disk_delta(self, pool: ElasticPool, delta_gb: float) -> None:
+        """Reflect a membership change in the pool's disk footprint.
+
+        The billed data size always moves; for local-store pools the
+        persisted load in the Naming Service moves too, so the very
+        next metric report (primary executes the model on the stored
+        value, §3.3.2) carries the change to the PLB.
+        """
+        database = pool.database
+        database.initial_data_gb = max(
+            database.initial_data_gb + delta_gb, 0.0)
+        if not database.is_local_store:
+            return
+        naming = self._control_plane.cluster.naming
+        key = persisted_load_key(database.db_id, DISK_GB)
+        current = naming.get_or_default(key)
+        if current is not None:
+            naming.put(key, max(float(current) + delta_gb, 0.0))

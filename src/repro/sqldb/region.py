@@ -1,0 +1,152 @@
+"""A multi-ring region: ring selection and redirect routing.
+
+Paper §3.1/§4.1.1: an Azure region is made up of many tenant rings;
+"when a customer wishes to create a new database, after a cluster is
+chosen, the request is forwarded to the cluster's Placement and Load
+Balancer", and the training pipeline assumes "each tenant ring in a
+region had equal probability of being selected". §5.3.1 adds that a
+redirected create goes "to another tenant ring that has enough
+capacity".
+
+:class:`Region` composes several :class:`TenantRing` instances under a
+region-level control plane that implements exactly that routing:
+uniform ring choice, then fail-over to the remaining rings in a
+deterministic rotation when the chosen ring redirects. The single-ring
+benchmark (the paper's §5 setup) is the special case ``ring_count=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import AdmissionRejected
+from repro.rng import RngRegistry
+from repro.simkernel import SimulationKernel
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.tenant_ring import TenantRing, TenantRingConfig
+
+
+@dataclass(frozen=True)
+class RegionalCreateOutcome:
+    """Where one create request finally landed."""
+
+    database: Optional[DatabaseInstance]
+    chosen_ring: int
+    placed_ring: Optional[int]
+    redirects: int
+
+    @property
+    def admitted(self) -> bool:
+        return self.database is not None
+
+    @property
+    def was_redirected(self) -> bool:
+        return self.redirects > 0
+
+
+class Region:
+    """Several tenant rings plus region-level create routing."""
+
+    def __init__(self, kernel: SimulationKernel, ring_count: int,
+                 config: TenantRingConfig, rng_registry: RngRegistry,
+                 name: str = "region") -> None:
+        if ring_count < 1:
+            raise ValueError(f"ring_count must be >= 1, got {ring_count}")
+        self.kernel = kernel
+        self.name = name
+        self.rings: List[TenantRing] = [
+            TenantRing(kernel, config, rng_registry,
+                       plb_rng_name=f"plb-{name}-ring-{index}")
+            for index in range(ring_count)
+        ]
+        self._rng = rng_registry.stream(name, "ring-selection")
+        self.creates_routed = 0
+        self.creates_rejected_region_wide = 0
+        self.cross_ring_redirects = 0
+
+    @property
+    def ring_count(self) -> int:
+        return len(self.rings)
+
+    def start(self) -> None:
+        for ring in self.rings:
+            ring.start()
+
+    def stop(self) -> None:
+        for ring in self.rings:
+            ring.stop()
+
+    # ------------------------------------------------------------------
+
+    def create_database(self, slo_name: str, now: int,
+                        initial_data_gb: float,
+                        **flags) -> RegionalCreateOutcome:
+        """Route a create: uniform ring choice, then redirect rotation.
+
+        Returns an outcome rather than raising: a create that no ring
+        can admit is a *region-wide* rejection, which production would
+        surface to the customer as a provisioning failure.
+        """
+        self.creates_routed += 1
+        chosen = int(self._rng.integers(self.ring_count))
+        order = [(chosen + offset) % self.ring_count
+                 for offset in range(self.ring_count)]
+        redirects = 0
+        for ring_index in order:
+            ring = self.rings[ring_index]
+            try:
+                database = ring.control_plane.create_database(
+                    slo_name=slo_name, now=now,
+                    initial_data_gb=initial_data_gb, **flags)
+            except AdmissionRejected:
+                redirects += 1
+                continue
+            if ring_index != chosen:
+                self.cross_ring_redirects += 1
+            return RegionalCreateOutcome(database=database,
+                                         chosen_ring=chosen,
+                                         placed_ring=ring_index,
+                                         redirects=redirects)
+        self.creates_rejected_region_wide += 1
+        return RegionalCreateOutcome(database=None, chosen_ring=chosen,
+                                     placed_ring=None, redirects=redirects)
+
+    def drop_database(self, db_id: str, now: int) -> DatabaseInstance:
+        """Drop a database from whichever ring hosts it."""
+        ring = self.find_ring(db_id)
+        if ring is None:
+            from repro.errors import UnknownDatabaseError
+            raise UnknownDatabaseError(
+                f"no ring in {self.name} hosts '{db_id}'")
+        return ring.control_plane.drop_database(db_id, now)
+
+    def find_ring(self, db_id: str) -> Optional[TenantRing]:
+        """The ring hosting an active database, if any."""
+        for ring in self.rings:
+            try:
+                database = ring.control_plane.database(db_id)
+            except Exception:
+                continue
+            if database.is_active:
+                return ring
+        return None
+
+    # ------------------------------------------------------------------
+
+    def active_count(self) -> int:
+        return sum(ring.control_plane.active_count() for ring in self.rings)
+
+    def reserved_cores(self) -> float:
+        return sum(ring.reserved_cores() for ring in self.rings)
+
+    def disk_usage_gb(self) -> float:
+        return sum(ring.disk_usage_gb() for ring in self.rings)
+
+    def ring_populations(self) -> List[int]:
+        """Active databases per ring (the §4.1.1 uniformity check)."""
+        return [ring.control_plane.active_count() for ring in self.rings]
+
+    def redirect_counts(self) -> List[int]:
+        """Creation redirects recorded per ring."""
+        return [ring.control_plane.redirect_count() for ring in self.rings]

@@ -1,0 +1,216 @@
+"""RgManager: the per-node resource-governance daemon.
+
+Paper §3.2: "There is a single RgManager instance running on every
+node [...] when a replica for a SQL database needs to report its CPU,
+memory, and disk usage to PLB, it first consults RgManager by issuing
+an RPC."
+
+Toto's hook (§3.3.1): "We implemented Toto to leverage the existing
+Azure SQL DB infrastructure by redirecting the metric request RPCs in
+RgManager to sample from defined models instead of returning the
+actual resource utilization. [...] If no model exists for the replica
+and the load metric that is being reported, the replica's actual load
+usage will be reported — this is the normal operating behavior."
+
+Persistence semantics (§3.3.2) are implemented exactly as described:
+
+* non-persisted metrics keep the previous value in RgManager *memory*,
+  so a replica that fails over to another node loses its history and
+  the model resets (memory, GP tempdb);
+* persisted metrics store the previous value in the Naming Service;
+  only the **primary** executes the model and writes the new value,
+  while secondaries merely read and report it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.model_base import ModelContext, ResourceModel, TotoModelSet
+from repro.fabric.metrics import CPU_USED_CORES, DISK_GB, MEMORY_GB
+from repro.fabric.naming import NamingService
+from repro.fabric.replica import Replica
+from repro.rng import RngRegistry
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.governance import CpuGovernor
+
+#: Metrics a replica re-reports every interval (CPU reservations are
+#: static and never re-reported).
+DYNAMIC_METRICS = (DISK_GB, MEMORY_GB)
+
+
+def persisted_load_key(db_id: str, metric: str) -> str:
+    """Naming-Service key under which a persisted load is stored."""
+    return f"toto/load/{db_id}/{metric}"
+
+
+class RgManager:
+    """One node's resource governor with the Toto interception hook.
+
+    Args:
+        node_id: the node this instance runs on.
+        naming: the cluster's Naming Service (shared).
+        rng_registry: seeded stream source; each (node, metric) pair
+            gets its own stream, mirroring the paper's per-node seeds
+            ("a unique seed was provided to every node", §5.2).
+        start_weekday: weekday of simulation time zero.
+    """
+
+    def __init__(self, node_id: int, naming: NamingService,
+                 rng_registry: RngRegistry, start_weekday: int = 0) -> None:
+        self.node_id = node_id
+        self.naming = naming
+        self._rng_registry = rng_registry
+        self.start_weekday = start_weekday
+        #: The active model set; replaced on every XML refresh. None
+        #: means Toto is not injected and actual loads pass through.
+        self.model_set: Optional[TotoModelSet] = None
+        #: Node-local previous values for non-persisted metrics,
+        #: keyed by (replica_id, metric). Lost when a replica moves to
+        #: a different node — which is the intended reset semantics.
+        self._memory: Dict[tuple, float] = {}
+        #: Version of the model XML this instance last parsed.
+        self.model_version = 0
+        self.rpcs_served = 0
+        #: Optional noisy-neighbor CPU governor (§3.2 / §5.5). When
+        #: set, the advisory modeled CPU usage of every hosted replica
+        #: is tracked and throttled node-wide each sweep.
+        self.governor: Optional[CpuGovernor] = None
+        self._cpu_usage_raw: Dict[int, float] = {}
+        self.cpu_usage_governed: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def install_models(self, model_set: Optional[TotoModelSet],
+                       version: int) -> None:
+        """Replace the active model set (called by the XML refresh)."""
+        self.model_set = model_set
+        self.model_version = version
+
+    def forget_replica(self, replica_id: int) -> None:
+        """Drop node-local state for a replica that left this node."""
+        stale = [key for key in self._memory if key[0] == replica_id]
+        for key in stale:
+            del self._memory[key]
+        self._cpu_usage_raw.pop(replica_id, None)
+        self.cpu_usage_governed.pop(replica_id, None)
+
+    def _stream(self, metric: str) -> np.random.Generator:
+        return self._rng_registry.stream("rgmanager", self.node_id, metric)
+
+    # ------------------------------------------------------------------
+
+    def get_metric_loads(self, replica: Replica, database: DatabaseInstance,
+                         now: int, interval_seconds: int) -> Dict[str, float]:
+        """Answer the replica's metric-report RPC.
+
+        Returns the loads the replica should report to the PLB for
+        every dynamic metric: model-driven where a model applies,
+        otherwise the replica's actual (last reported) load.
+        """
+        self.rpcs_served += 1
+        loads: Dict[str, float] = {}
+        for metric in DYNAMIC_METRICS:
+            model = (self.model_set.find(metric, database)
+                     if self.model_set is not None else None)
+            if model is None:
+                loads[metric] = replica.load(metric)
+            elif model.persisted:
+                loads[metric] = self._persisted_value(
+                    model, replica, database, now, interval_seconds, metric)
+            else:
+                loads[metric] = self._memory_value(
+                    model, replica, database, now, interval_seconds, metric)
+        self._observe_cpu_usage(replica, database, now, interval_seconds)
+        return loads
+
+    def _observe_cpu_usage(self, replica: Replica,
+                           database: DatabaseInstance, now: int,
+                           interval_seconds: int) -> None:
+        """Sample the advisory CPU-usage model for governance (§3.2).
+
+        The value never reaches the PLB — it feeds the node-local
+        noisy-neighbor governor, which runs once per sweep via
+        :meth:`apply_cpu_governance`.
+        """
+        if self.model_set is None:
+            return
+        model = self.model_set.find(CPU_USED_CORES, database)
+        if model is None:
+            return
+        value = self._memory_value(model, replica, database, now,
+                                   interval_seconds, CPU_USED_CORES)
+        self._cpu_usage_raw[replica.replica_id] = value
+
+    def apply_cpu_governance(self, interval_seconds: int) -> None:
+        """Run the node's CPU governor over the last sweep's usage."""
+        if self.governor is None or not self._cpu_usage_raw:
+            return
+        self.cpu_usage_governed = self.governor.govern(
+            self._cpu_usage_raw, interval_seconds)
+
+    def node_cpu_usage(self, governed: bool = True) -> float:
+        """Total advisory CPU usage on this node (cores)."""
+        source = self.cpu_usage_governed if governed and \
+            self.cpu_usage_governed else self._cpu_usage_raw
+        return float(sum(source.values()))
+
+    # ------------------------------------------------------------------
+
+    def _context(self, replica: Replica, database: DatabaseInstance,
+                 now: int, interval_seconds: int,
+                 previous: Optional[float], metric: str) -> ModelContext:
+        return ModelContext(
+            now=now,
+            interval_seconds=interval_seconds,
+            database=database,
+            is_primary=replica.is_primary,
+            previous_value=previous,
+            rng=self._stream(metric),
+            start_weekday=self.start_weekday,
+        )
+
+    def _memory_value(self, model: ResourceModel, replica: Replica,
+                      database: DatabaseInstance, now: int,
+                      interval_seconds: int, metric: str) -> float:
+        """Non-persisted path: previous value lives in node memory."""
+        key = (replica.replica_id, metric)
+        previous = self._memory.get(key)
+        context = self._context(replica, database, now, interval_seconds,
+                                previous, metric)
+        value = model.next_value(context)
+        self._memory[key] = value
+        return value
+
+    def _persisted_value(self, model: ResourceModel, replica: Replica,
+                         database: DatabaseInstance, now: int,
+                         interval_seconds: int, metric: str) -> float:
+        """Persisted path (§3.3.2).
+
+        Only the primary executes the model and writes the new value
+        back to the Naming Service; secondaries report whatever is
+        stored, guaranteeing a newly promoted primary resumes from the
+        previous primary's load.
+        """
+        key = persisted_load_key(database.db_id, metric)
+        previous = self.naming.get_or_default(key)
+        context = self._context(replica, database, now, interval_seconds,
+                                previous, metric)
+        if replica.is_primary:
+            value = model.next_value(context)
+            self.naming.put(key, value)
+            return value
+        if previous is None:
+            # No primary has reported yet (e.g. secondary reports first
+            # in the very first round): fall back to the model's initial
+            # value without persisting it — the primary owns the write.
+            return model.initial_value(context)
+        return float(previous)
+
+
+def clear_persisted_loads(naming: NamingService, db_id: str) -> None:
+    """Remove a dropped database's persisted loads from the metastore."""
+    for key in naming.keys(prefix=f"toto/load/{db_id}/"):
+        naming.delete_if_exists(key)

@@ -1,0 +1,104 @@
+"""Service Level Objective (SLO) catalog.
+
+Paper §2: "The Service Level Objectives (SLOs) in each edition and
+hardware SKU have different configurations such as the amount of
+compute units (cores) or the amount of DRAM memory available to the
+SQL process."
+
+The catalog mirrors the public gen5 vCore ladder (2-32 vCores). Memory
+scales at the gen5 ratio of ~5.1 GB per vCore; maximum data size caps
+follow the public service limits loosely. Prices live in
+:mod:`repro.revenue.pricing` keyed by SLO name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import UnknownSloError
+from repro.sqldb.editions import Edition
+
+#: gen5 DRAM-per-vCore ratio (GB).
+MEMORY_PER_CORE_GB = 5.1
+
+#: Core sizes offered on gen5 in both families.
+CORE_SIZES: Tuple[int, ...] = (2, 4, 6, 8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """One purchasable database configuration."""
+
+    name: str
+    edition: Edition
+    cores: int
+    memory_gb: float
+    max_data_gb: float
+
+    @property
+    def replica_count(self) -> int:
+        """Replicas the orchestrator must place for this SLO."""
+        return self.edition.replica_count
+
+    @property
+    def total_reserved_cores(self) -> int:
+        """Cores the cluster must reserve across all replicas.
+
+        The paper's 24-core BC example reserves 96 cluster cores
+        ("replicated x4, 96 cores total", §5.3.1).
+        """
+        return self.cores * self.replica_count
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_catalog() -> Dict[str, ServiceLevelObjective]:
+    catalog: Dict[str, ServiceLevelObjective] = {}
+    for edition, prefix in ((Edition.STANDARD_GP, "GP"),
+                            (Edition.PREMIUM_BC, "BC")):
+        for cores in CORE_SIZES:
+            name = f"{prefix}_Gen5_{cores}"
+            # GP data lives in remote storage with a generous cap; BC is
+            # bounded by the local SSD and scales with the SLO size.
+            if edition is Edition.STANDARD_GP:
+                max_data = 4096.0
+            else:
+                max_data = min(4096.0, 1024.0 + 96.0 * cores)
+            catalog[name] = ServiceLevelObjective(
+                name=name,
+                edition=edition,
+                cores=cores,
+                memory_gb=round(MEMORY_PER_CORE_GB * cores, 1),
+                max_data_gb=max_data,
+            )
+    return catalog
+
+
+SLO_CATALOG: Dict[str, ServiceLevelObjective] = _build_catalog()
+
+
+def get_slo(name: str) -> ServiceLevelObjective:
+    """Look up an SLO by name; raises :class:`UnknownSloError`."""
+    slo = SLO_CATALOG.get(name)
+    if slo is None:
+        raise UnknownSloError(
+            f"unknown SLO '{name}'; known: {sorted(SLO_CATALOG)}")
+    return slo
+
+
+def slos_for_edition(edition: Edition) -> List[ServiceLevelObjective]:
+    """All SLOs of one edition, ordered by core count."""
+    return sorted((slo for slo in SLO_CATALOG.values()
+                   if slo.edition is edition),
+                  key=lambda slo: slo.cores)
+
+
+def slo_name(edition: Edition, cores: int) -> str:
+    """Canonical SLO name for an edition/core pair."""
+    prefix = "GP" if edition is Edition.STANDARD_GP else "BC"
+    name = f"{prefix}_Gen5_{cores}"
+    if name not in SLO_CATALOG:
+        raise UnknownSloError(f"no {cores}-core SLO in {edition.value}")
+    return name

@@ -1,0 +1,52 @@
+"""Statistics used by the modeling framework and the experiment analysis.
+
+This package hosts:
+
+* descriptive statistics (box-plot five-number summaries used by the
+  paper's dispersion figures),
+* dynamic time warping (used in §4.2.2 to compare candidate disk models),
+* the Kolmogorov-Smirnov normality test (§4.1.3, Figure 7),
+* the Wilcoxon signed-rank test (§5.3.4, Figure 13),
+* distribution wrappers and maximum-likelihood fitting for the normal /
+  uniform / Poisson / negative-binomial candidates the paper evaluated.
+"""
+
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_mean,
+    bootstrap_mean_difference,
+    bootstrap_paired_difference,
+)
+from repro.stats.descriptive import BoxplotStats, boxplot_stats, rmse
+from repro.stats.distributions import (
+    FittedDistribution,
+    NegativeBinomialDistribution,
+    NormalDistribution,
+    PoissonDistribution,
+    UniformDistribution,
+)
+from repro.stats.dtw import dtw_distance
+from repro.stats.fitting import FitResult, fit_all_candidates, fit_best
+from repro.stats.ks import ks_normality_test
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+
+__all__ = [
+    "BootstrapInterval",
+    "BoxplotStats",
+    "bootstrap_mean",
+    "bootstrap_mean_difference",
+    "bootstrap_paired_difference",
+    "FitResult",
+    "FittedDistribution",
+    "NegativeBinomialDistribution",
+    "NormalDistribution",
+    "PoissonDistribution",
+    "UniformDistribution",
+    "boxplot_stats",
+    "dtw_distance",
+    "fit_all_candidates",
+    "fit_best",
+    "ks_normality_test",
+    "rmse",
+    "wilcoxon_signed_rank",
+]

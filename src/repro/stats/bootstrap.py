@@ -1,0 +1,98 @@
+"""Bootstrap confidence intervals for KPI comparisons.
+
+The paper reasons about run-to-run differences with hypothesis tests
+(Figure 13). When the question is instead "how big is the difference
+and how sure are we?" — e.g. a config sweep's Δ adjusted revenue — a
+percentile bootstrap over per-unit observations gives an interval
+without distributional assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    @property
+    def excludes_zero(self) -> bool:
+        """True when the interval is strictly one-signed."""
+        return self.low > 0.0 or self.high < 0.0
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return (f"{self.estimate:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}] @{pct}%")
+
+
+def bootstrap_mean(sample: Sequence[float], confidence: float = 0.95,
+                   resamples: int = 2000,
+                   seed: int = 0) -> BootstrapInterval:
+    """Percentile-bootstrap interval for a sample mean."""
+    data = np.asarray(sample, dtype=float)
+    if data.size < 2:
+        raise TrainingError("bootstrap needs at least 2 observations")
+    if not 0.0 < confidence < 1.0:
+        raise TrainingError(f"confidence must be in (0,1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapInterval(estimate=float(data.mean()),
+                             low=float(low), high=float(high),
+                             confidence=confidence, resamples=resamples)
+
+
+def bootstrap_mean_difference(sample_a: Sequence[float],
+                              sample_b: Sequence[float],
+                              confidence: float = 0.95,
+                              resamples: int = 2000,
+                              seed: int = 0) -> BootstrapInterval:
+    """Interval for ``mean(a) - mean(b)`` (independent resampling)."""
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise TrainingError("bootstrap needs at least 2 observations each")
+    rng = np.random.default_rng(seed)
+    means_a = a[rng.integers(0, a.size, size=(resamples, a.size))] \
+        .mean(axis=1)
+    means_b = b[rng.integers(0, b.size, size=(resamples, b.size))] \
+        .mean(axis=1)
+    deltas = means_a - means_b
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(deltas, [alpha, 1.0 - alpha])
+    return BootstrapInterval(estimate=float(a.mean() - b.mean()),
+                             low=float(low), high=float(high),
+                             confidence=confidence, resamples=resamples)
+
+
+def bootstrap_paired_difference(sample_a: Sequence[float],
+                                sample_b: Sequence[float],
+                                confidence: float = 0.95,
+                                resamples: int = 2000,
+                                seed: int = 0) -> BootstrapInterval:
+    """Interval for the mean of paired differences ``a_i - b_i``.
+
+    The right tool for node-level readings across two runs (Figure 13's
+    pairing): resampling pairs preserves the per-node correlation.
+    """
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.shape != b.shape:
+        raise TrainingError("paired bootstrap needs equal lengths")
+    return bootstrap_mean(a - b, confidence=confidence,
+                          resamples=resamples, seed=seed)

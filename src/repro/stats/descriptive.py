@@ -1,0 +1,104 @@
+"""Descriptive statistics: box-plot summaries and error metrics.
+
+The paper's demographic and non-determinism figures (3a, 6, 7, 13) are
+dispersion box plots; :func:`boxplot_stats` produces the standard
+Tukey five-number summary plus mean and outliers so the benchmarks can
+print exactly the series those figures draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey box-plot summary of one sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def row(self) -> str:
+        """One-line rendering used by the report tables."""
+        return (f"n={self.count:4d}  mean={self.mean:10.3f}  "
+                f"min={self.minimum:10.3f}  q1={self.q1:10.3f}  "
+                f"med={self.median:10.3f}  q3={self.q3:10.3f}  "
+                f"max={self.maximum:10.3f}")
+
+
+def boxplot_stats(sample: Sequence[float], whisker: float = 1.5) -> BoxplotStats:
+    """Compute a Tukey box-plot summary.
+
+    Whiskers extend to the most extreme data point within
+    ``whisker * IQR`` of the nearer quartile; points beyond are outliers.
+    """
+    data = np.asarray(sample, dtype=float)
+    if data.size == 0:
+        raise TrainingError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(data, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    low_fence = q1 - whisker * iqr
+    high_fence = q3 + whisker * iqr
+    inside = data[(data >= low_fence) & (data <= high_fence)]
+    if inside.size:
+        whisker_low = float(inside.min())
+        whisker_high = float(inside.max())
+    else:  # degenerate: every point is an "outlier"
+        whisker_low = float(q1)
+        whisker_high = float(q3)
+    outliers = tuple(float(x) for x in
+                     np.sort(data[(data < low_fence) | (data > high_fence)]))
+    return BoxplotStats(
+        count=int(data.size),
+        mean=float(data.mean()),
+        minimum=float(data.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(data.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+def rmse(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Root mean squared error between two equal-length series."""
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise TrainingError(
+            f"series length mismatch: {pred.shape} vs {act.shape}")
+    if pred.size == 0:
+        raise TrainingError("cannot compute RMSE of empty series")
+    return float(np.sqrt(np.mean((pred - act) ** 2)))
+
+
+def relative_difference(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline`` guarded against zero baselines."""
+    if baseline == 0:
+        raise TrainingError("relative difference undefined for zero baseline")
+    return (value - baseline) / baseline
+
+
+def summarize_many(samples: List[Sequence[float]]) -> List[BoxplotStats]:
+    """Box-plot summary per sample (one box per plotted group)."""
+    return [boxplot_stats(sample) for sample in samples]

@@ -1,0 +1,31 @@
+"""Telemetry: synthetic production traces and cluster KPI collection.
+
+Two halves:
+
+* :mod:`repro.telemetry.production` / :mod:`repro.telemetry.region` —
+  the *synthetic production environment*: generators that emit
+  two-week, region-level telemetry with the statistical features the
+  paper reports (hourly/weekday creation seasonality, heavy-tailed
+  disk sizes, low-utilization CPU/memory scatter, per-cluster
+  local-store fractions). The model-training framework (§4) consumes
+  these traces exactly as the paper consumed Azure telemetry.
+* :mod:`repro.telemetry.collector` / :mod:`repro.telemetry.kpis` —
+  the benchmark-side telemetry: hourly KPI frames collected from the
+  simulated cluster during a Toto run (reserved cores, disk usage,
+  redirects, failed-over cores), which the experiment drivers turn
+  into the paper's figures.
+"""
+
+from repro.telemetry.collector import TelemetryCollector, TelemetryFrame
+from repro.telemetry.kpis import FailoverKpis, RunKpis
+from repro.telemetry.region import RegionProfile
+from repro.telemetry.production import ProductionTraceGenerator
+
+__all__ = [
+    "FailoverKpis",
+    "ProductionTraceGenerator",
+    "RegionProfile",
+    "RunKpis",
+    "TelemetryCollector",
+    "TelemetryFrame",
+]

@@ -1,0 +1,76 @@
+"""KPI summaries derived from a benchmark run.
+
+These are the quantities the paper's evaluation reports: reserved
+cores and disk usage (Figure 11/12a), creation redirects (Figure 10),
+failed-over cores split by edition (Figure 12b), and the inputs to the
+adjusted-revenue calculation (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fabric.failover import FailoverRecord
+from repro.sqldb.control_plane import ControlPlane
+from repro.sqldb.editions import Edition
+
+
+@dataclass(frozen=True)
+class FailoverKpis:
+    """Aggregate failover impact over a run (Figure 12b)."""
+
+    count: int
+    total_cores_moved: float
+    gp_cores_moved: float
+    bc_cores_moved: float
+    total_disk_moved_gb: float
+    primary_moves: int
+    total_downtime_seconds: float
+
+    @classmethod
+    def from_records(cls, records: List[FailoverRecord],
+                     control_plane: ControlPlane) -> "FailoverKpis":
+        """Aggregate the capacity failovers (make-room moves excluded).
+
+        Figure 12(b) counts failovers forced by capacity violations;
+        proactive make-room balancing is a different disturbance and is
+        reported separately by the PLB stats.
+        """
+        records = [r for r in records if r.is_capacity_failover]
+        gp_cores = 0.0
+        bc_cores = 0.0
+        disk = 0.0
+        downtime = 0.0
+        primaries = 0
+        for record in records:
+            try:
+                edition = control_plane.database(record.service_id).edition
+            except Exception:  # dropped bookkeeping races never happen; be safe
+                edition = Edition.STANDARD_GP
+            if edition is Edition.PREMIUM_BC:
+                bc_cores += record.cores_moved
+            else:
+                gp_cores += record.cores_moved
+            disk += record.disk_moved_gb
+            downtime += record.downtime_seconds
+            if record.is_primary:
+                primaries += 1
+        return cls(count=len(records),
+                   total_cores_moved=gp_cores + bc_cores,
+                   gp_cores_moved=gp_cores, bc_cores_moved=bc_cores,
+                   total_disk_moved_gb=disk, primary_moves=primaries,
+                   total_downtime_seconds=downtime)
+
+
+@dataclass(frozen=True)
+class RunKpis:
+    """Final-state KPIs of one benchmark run."""
+
+    final_reserved_cores: float
+    final_disk_gb: float
+    core_utilization: float
+    disk_utilization: float
+    creation_redirects: int
+    active_databases: int
+    failovers: FailoverKpis

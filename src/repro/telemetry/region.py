@@ -1,0 +1,148 @@
+"""Region profiles: the shape of a synthetic Azure region.
+
+The paper trains its models on production telemetry from Azure regions
+and notes strong regional differences (Figure 3a: "Region 2 has a
+significantly larger proportion of local-store databases than Region
+1"). A :class:`RegionProfile` captures the statistical features the
+paper reports so the trace generator can emit training data with the
+same structure:
+
+* hourly/weekday seasonality of creates and drops (Figure 6): more
+  activity on weekdays and during business hours;
+* Premium/BC activity roughly an order of magnitude below Standard/GP;
+* heavy-tailed initial data sizes;
+* low CPU/memory utilization for most databases (Figure 3b);
+* per-cluster local-store fractions (Figure 3a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Statistical profile of one synthetic region.
+
+    Rates are *region level*; divide by ``tenant_ring_count`` for a
+    single ring (paper §4.1.1's equal-probability assumption).
+    """
+
+    name: str
+    tenant_ring_count: int = 15
+    cluster_count: int = 40
+
+    # -- create/drop seasonality (region-level events per hour) -------
+    gp_create_base: float = 18.0          # overnight weekday floor
+    gp_create_peak: float = 68.0          # business-hours bump height
+    gp_drop_base: float = 16.5
+    gp_drop_peak: float = 56.0
+    bc_activity_scale: float = 0.115      # BC rates = GP rates x this
+    weekend_factor: float = 0.45          # weekend dampening
+    count_noise: float = 0.16             # relative sigma of hourly counts
+    peak_hour: float = 13.0               # center of the business bump
+    peak_width: float = 4.2               # bump width in hours
+
+    # -- disk sizes at creation (log-GB) --------------------------------
+    #: Remote-store traces track tempdb-scale local footprints; the
+    #: *data* (billed) size rides the same distribution.
+    gp_start_log_mu: float = 3.2
+    gp_start_log_sigma: float = 1.1
+    #: Local-store databases carry their full data on the node SSD and
+    #: are an order of magnitude larger (§5.3.2: "A few Premium/BC
+    #: databases contribute a disproportional amount of disk usage").
+    bc_start_log_mu: float = 4.9
+    bc_start_log_sigma: float = 0.8
+
+    # -- disk growth (GB per 20-minute period, per database) ----------
+    disk_delta_base: float = 0.004
+    disk_delta_peak: float = 0.030
+    disk_delta_sigma: float = 0.020
+    #: Local-store databases grow faster (real data, not just tempdb).
+    bc_disk_delta_multiplier: float = 1.8
+    high_initial_probability: float = 0.02
+    high_initial_log_mu: float = 3.6      # log-GB of 30-minute totals
+    high_initial_log_sigma: float = 1.0
+    high_initial_cap_gb: float = 256.0    # tempdb spill bursts stay modest
+    bc_high_initial_cap_gb: float = 1400.0  # ~1.3 TB restores (§5.3.2)
+    #: Local-store restores are far larger (full databases onto local
+    #: SSD) and more frequent (restore-from-backup is the standard BC
+    #: provisioning path); the paper's example grew ~1.3 TB in its
+    #: first 30 minutes.
+    bc_high_initial_probability: float = 0.15
+    bc_high_initial_log_mu: float = 6.2
+    bc_high_initial_log_sigma: float = 0.9
+    rapid_probability: float = 0.015
+    rapid_spike_log_mu: float = 3.0
+    rapid_spike_log_sigma: float = 0.7
+    #: BC batch pipelines move real data volumes, not tempdb scratch,
+    #: and ETL-style local-store databases are common.
+    bc_rapid_probability: float = 0.05
+    bc_rapid_magnitude_multiplier: float = 12.0
+
+    # -- utilization scatter (Figure 3b) --------------------------------
+    cpu_util_alpha: float = 1.2           # beta params: mass near zero
+    cpu_util_beta: float = 6.5
+    mem_util_alpha: float = 2.4           # memory sits higher than CPU
+    mem_util_beta: float = 3.2
+    idle_fraction: float = 0.35           # completely idle databases
+
+    # -- demographics ----------------------------------------------------
+    local_store_fraction_mean: float = 0.15
+    local_store_fraction_std: float = 0.05
+    local_store_daily_jitter: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.tenant_ring_count < 1:
+            raise ScenarioError("tenant_ring_count must be >= 1")
+        if not 0.0 <= self.weekend_factor <= 1.0:
+            raise ScenarioError("weekend_factor must be in [0, 1]")
+        if not 0.0 <= self.local_store_fraction_mean <= 1.0:
+            raise ScenarioError("local_store_fraction_mean out of range")
+
+    # ------------------------------------------------------------------
+
+    def _bump(self, hour: int) -> float:
+        """Business-hours bump in [0, 1] centered at ``peak_hour``."""
+        return math.exp(-((hour - self.peak_hour) / self.peak_width) ** 2)
+
+    def create_rate(self, edition_is_bc: bool, weekend: bool,
+                    hour: int) -> float:
+        """Expected region-level creates in one hour."""
+        rate = self.gp_create_base + self.gp_create_peak * self._bump(hour)
+        if weekend:
+            rate *= self.weekend_factor
+        if edition_is_bc:
+            rate *= self.bc_activity_scale
+        return rate
+
+    def drop_rate(self, edition_is_bc: bool, weekend: bool,
+                  hour: int) -> float:
+        """Expected region-level drops in one hour."""
+        rate = self.gp_drop_base + self.gp_drop_peak * self._bump(hour)
+        if weekend:
+            rate *= self.weekend_factor
+        if edition_is_bc:
+            rate *= self.bc_activity_scale
+        return rate
+
+    def disk_delta_mu(self, weekend: bool, hour: int) -> float:
+        """Expected per-database Delta Disk Usage for a 20-min period."""
+        mu = self.disk_delta_base + self.disk_delta_peak * self._bump(hour)
+        if weekend:
+            mu *= self.weekend_factor
+        return mu
+
+
+#: The two regions of Figure 3a. US_EAST_LIKE has the low local-store
+#: share ("Region 1"), EU_WEST_LIKE the high one ("Region 2").
+US_EAST_LIKE = RegionProfile(name="region-1",
+                             local_store_fraction_mean=0.12,
+                             local_store_fraction_std=0.035)
+EU_WEST_LIKE = RegionProfile(name="region-2",
+                             local_store_fraction_mean=0.28,
+                             local_store_fraction_std=0.06,
+                             bc_activity_scale=0.22)

@@ -1,0 +1,77 @@
+"""Time and size units used throughout the reproduction.
+
+Simulated time is measured in **integer seconds** from the start of the
+scenario. Disk sizes are measured in **GB** (floats), CPU in **logical
+cores** (ints for reservations, floats for utilization), and memory in
+**GB**.
+
+The helpers here convert between simulation timestamps and the calendar
+features the paper's models key on (hour of day, weekday/weekend).
+By convention a scenario starts at midnight on a Monday unless the
+scenario specifies a different ``start_weekday``.
+"""
+
+from __future__ import annotations
+
+SECOND = 1
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: Interval at which replicas report load metrics to the PLB (paper: each
+#: replica reports "at some regular interval"; we default to 5 minutes).
+DEFAULT_REPORT_INTERVAL = 5 * MINUTE
+
+#: Interval at which RgManager re-reads the model XML from the Naming
+#: Service (paper §3.3.1: "every 15 minutes").
+MODEL_REFRESH_INTERVAL = 15 * MINUTE
+
+#: Granularity at which the paper discretizes Delta Disk Usage (§4.2.1).
+DELTA_DISK_PERIOD = 20 * MINUTE
+
+GB = 1.0
+TB = 1024.0 * GB
+MB = GB / 1024.0
+
+#: Hours in an average month, used to convert GB/month storage prices to
+#: GB/hour (365.25 * 24 / 12).
+HOURS_PER_MONTH = 730.5
+
+
+def hour_of_day(timestamp: int) -> int:
+    """Return the hour-of-day (0-23) for a simulation timestamp."""
+    return (timestamp % DAY) // HOUR
+
+
+def day_index(timestamp: int) -> int:
+    """Return the number of whole days elapsed at ``timestamp``."""
+    return timestamp // DAY
+
+
+def weekday_index(timestamp: int, start_weekday: int = 0) -> int:
+    """Return the weekday (0=Monday .. 6=Sunday) at ``timestamp``.
+
+    ``start_weekday`` is the weekday of simulation time zero.
+    """
+    return (start_weekday + day_index(timestamp)) % 7
+
+
+def is_weekend(timestamp: int, start_weekday: int = 0) -> bool:
+    """True if ``timestamp`` falls on Saturday or Sunday."""
+    return weekday_index(timestamp, start_weekday) >= 5
+
+
+def hours(timestamp: int) -> float:
+    """Convert a timestamp in seconds to fractional hours."""
+    return timestamp / HOUR
+
+
+def format_duration(seconds: int) -> str:
+    """Render a duration like ``'2d 03:15:00'`` for logs and reports."""
+    days, rem = divmod(int(seconds), DAY)
+    hrs, rem = divmod(rem, HOUR)
+    mins, secs = divmod(rem, MINUTE)
+    if days:
+        return f"{days}d {hrs:02d}:{mins:02d}:{secs:02d}"
+    return f"{hrs:02d}:{mins:02d}:{secs:02d}"

@@ -1,0 +1,165 @@
+"""Tests for the telemetry collector and initial-population synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sqldb.editions import Edition
+from repro.sqldb.population import (
+    InitialPopulationSpec,
+    PopulationMix,
+    generate_initial_population,
+    population_summary,
+)
+from repro.telemetry.collector import TelemetryCollector
+from repro.units import HOUR
+from tests.conftest import make_ring
+
+
+class TestCollector:
+    def test_hourly_frames(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(3 * HOUR + 1)
+        assert [f.hour_index for f in collector.frames] == [0, 1, 2, 3]
+
+    def test_snapshot_contents(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=4)
+        ring.control_plane.create_database("BC_Gen5_2", now=0,
+                                           initial_data_gb=40.0)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        frame = collector.last
+        assert frame.reserved_cores == 8.0
+        assert frame.active_bc == 1
+        assert frame.disk_gb == pytest.approx(160.0)
+        assert len(frame.node_cores) == 4
+
+    def test_maintenance_excluded_from_snapshot(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=4)
+        db = ring.control_plane.create_database("BC_Gen5_2", now=0,
+                                                initial_data_gb=40.0)
+        node_id = ring.cluster.service(db.db_id).replicas[0].node_id
+        ring.cluster.node(node_id).in_maintenance = True
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        frame = collector.last
+        assert frame.nodes_in_maintenance == 1
+        assert frame.reserved_cores < 8.0
+
+    def test_first_redirect_hour(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=4)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(HOUR + 1)
+        assert collector.first_hour_with_redirect() is None
+
+    def test_capture_final_not_duplicated(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        collector.capture_final()  # same timestamp: no new frame
+        assert len(collector.frames) == 1
+        kernel.run_until(90 * 60)
+        collector.capture_final()
+        assert collector.frames[-1].time == kernel.now
+
+    def test_series_extraction(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(2 * HOUR + 1)
+        series = collector.series("reserved_cores")
+        assert len(series) == 3
+
+    def test_last_requires_frames(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        with pytest.raises(IndexError):
+            collector.last
+
+
+class TestPopulationMix:
+    def test_slo_weights_by_edition(self):
+        mix = PopulationMix()
+        gp = dict(mix.slo_weights(Edition.STANDARD_GP))
+        bc = dict(mix.slo_weights(Edition.PREMIUM_BC))
+        assert all(name.startswith("GP") for name in gp)
+        assert all(name.startswith("BC") for name in bc)
+
+    def test_sample_slo_valid(self):
+        mix = PopulationMix()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            name = mix.sample_slo(Edition.PREMIUM_BC, rng)
+            assert name.startswith("BC_Gen5_")
+
+    def test_sample_data_positive_and_capped(self):
+        mix = PopulationMix()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            size = mix.sample_data_gb(Edition.PREMIUM_BC, rng)
+            assert 0.1 <= size <= mix.data_cap_gb
+
+
+class TestInitialPopulation:
+    def make_orders(self, spec=None, cores=1008.0, disk=57344.0, seed=0):
+        spec = spec or InitialPopulationSpec()
+        return generate_initial_population(
+            spec, cluster_cores_at_100pct=cores, cluster_disk_gb=disk,
+            rng=np.random.default_rng(seed))
+
+    def test_table2_counts(self):
+        orders = self.make_orders()
+        summary = population_summary(orders)
+        assert summary["gp_count"] == 187
+        assert summary["bc_count"] == 33
+        assert summary["total_count"] == 220
+
+    def test_core_target_hit(self):
+        orders = self.make_orders()
+        summary = population_summary(orders)
+        assert summary["reserved_cores"] == pytest.approx(
+            0.94 * 1008.0, rel=0.02)
+
+    def test_disk_target_hit(self):
+        orders = self.make_orders()
+        summary = population_summary(orders)
+        assert summary["local_disk_gb"] == pytest.approx(
+            0.77 * 57344.0, rel=0.03)
+
+    def test_largest_first_ordering(self):
+        orders = self.make_orders()
+        cores = [order.reserved_cores for order in orders]
+        assert cores == sorted(cores, reverse=True)
+
+    def test_deterministic(self):
+        a = self.make_orders(seed=4)
+        b = self.make_orders(seed=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert self.make_orders(seed=1) != self.make_orders(seed=2)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ScenarioError):
+            generate_initial_population(
+                InitialPopulationSpec(gp_count=0, bc_count=0),
+                1000.0, 10000.0, np.random.default_rng(0))
+
+    def test_rapid_flags_present(self):
+        spec = InitialPopulationSpec(
+            mix=PopulationMix(rapid_growth_fraction=0.5))
+        orders = self.make_orders(spec=spec)
+        rapid = sum(1 for order in orders if order.rapid_growth)
+        assert 0.3 * len(orders) < rapid < 0.7 * len(orders)
+
+    def test_custom_counts(self):
+        spec = InitialPopulationSpec(gp_count=10, bc_count=5,
+                                     target_core_fraction=0.5,
+                                     target_disk_fraction=0.4)
+        orders = self.make_orders(spec=spec, cores=320.0, disk=4096.0)
+        summary = population_summary(orders)
+        assert summary["total_count"] == 15
+        assert summary["bc_count"] == 5

@@ -1,0 +1,147 @@
+"""Tests for hourly schedules and database selectors."""
+
+import pytest
+
+from repro.errors import ModelSpecError
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.core.selectors import (
+    ALL_DATABASES,
+    ALL_PREMIUM_BC,
+    ALL_STANDARD_GP,
+    DatabaseSelector,
+)
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import Edition
+from repro.sqldb.slo import get_slo
+from repro.units import DAY, HOUR
+
+
+def make_db(slo="GP_Gen5_4", db_id="db-1"):
+    return DatabaseInstance(db_id=db_id, slo=get_slo(slo), created_at=0,
+                            initial_data_gb=10.0)
+
+
+class TestDayType:
+    def test_weekday_at_start(self):
+        assert DayType.of(0) is DayType.WEEKDAY
+
+    def test_weekend(self):
+        assert DayType.of(5 * DAY) is DayType.WEEKEND
+
+    def test_start_weekday_shift(self):
+        assert DayType.of(0, start_weekday=6) is DayType.WEEKEND
+
+
+class TestSchedule:
+    def test_constant_is_complete(self):
+        schedule = HourlyNormalSchedule.constant(1.0, 0.5)
+        assert schedule.is_complete
+        schedule.validate()
+
+    def test_set_and_params(self):
+        schedule = HourlyNormalSchedule()
+        schedule.set(DayType.WEEKDAY, 9, 5.0, 1.0)
+        assert schedule.params(DayType.WEEKDAY, 9) == (5.0, 1.0)
+
+    def test_missing_cell_raises(self):
+        schedule = HourlyNormalSchedule()
+        with pytest.raises(ModelSpecError):
+            schedule.params(DayType.WEEKDAY, 0)
+
+    def test_invalid_hour_rejected(self):
+        schedule = HourlyNormalSchedule()
+        with pytest.raises(ModelSpecError):
+            schedule.set(DayType.WEEKDAY, 24, 1.0, 0.0)
+
+    def test_negative_sigma_rejected(self):
+        schedule = HourlyNormalSchedule()
+        with pytest.raises(ModelSpecError):
+            schedule.set(DayType.WEEKDAY, 0, 1.0, -0.1)
+
+    def test_params_at_timestamp(self):
+        schedule = HourlyNormalSchedule.constant(0.0, 0.0)
+        schedule.set(DayType.WEEKDAY, 13, 9.0, 2.0)
+        schedule.set(DayType.WEEKEND, 13, 4.0, 1.0)
+        assert schedule.params_at(13 * HOUR) == (9.0, 2.0)
+        assert schedule.params_at(5 * DAY + 13 * HOUR) == (4.0, 1.0)
+
+    def test_scaled(self):
+        schedule = HourlyNormalSchedule.constant(10.0, 2.0).scaled(0.1)
+        assert schedule.params(DayType.WEEKDAY, 0) == (
+            pytest.approx(1.0), pytest.approx(0.2))
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ModelSpecError):
+            HourlyNormalSchedule.constant(1.0, 0.0).scaled(-1.0)
+
+    def test_incomplete_validate_raises(self):
+        schedule = HourlyNormalSchedule()
+        schedule.set(DayType.WEEKDAY, 0, 1.0, 0.0)
+        with pytest.raises(ModelSpecError):
+            schedule.validate()
+
+    def test_from_cells(self):
+        entries = [(daytype, hour, float(hour), 0.1)
+                   for daytype in DayType for hour in range(24)]
+        schedule = HourlyNormalSchedule.from_cells(entries)
+        schedule.validate()
+        assert schedule.params(DayType.WEEKEND, 7)[0] == 7.0
+
+    def test_equality(self):
+        a = HourlyNormalSchedule.constant(1.0, 0.0)
+        b = HourlyNormalSchedule.constant(1.0, 0.0)
+        assert a == b
+        b.set(DayType.WEEKDAY, 0, 2.0, 0.0)
+        assert a != b
+
+
+class TestSelectors:
+    def test_empty_matches_all(self):
+        assert ALL_DATABASES.matches(make_db("GP_Gen5_2"))
+        assert ALL_DATABASES.matches(make_db("BC_Gen5_2"))
+
+    def test_edition_selectors(self):
+        assert ALL_STANDARD_GP.matches(make_db("GP_Gen5_2"))
+        assert not ALL_STANDARD_GP.matches(make_db("BC_Gen5_2"))
+        assert ALL_PREMIUM_BC.matches(make_db("BC_Gen5_2"))
+
+    def test_slo_name_filter(self):
+        selector = DatabaseSelector(slo_names=frozenset({"GP_Gen5_4"}))
+        assert selector.matches(make_db("GP_Gen5_4"))
+        assert not selector.matches(make_db("GP_Gen5_2"))
+
+    def test_db_id_filter(self):
+        selector = DatabaseSelector(db_ids=frozenset({"db-1"}))
+        assert selector.matches(make_db(db_id="db-1"))
+        assert not selector.matches(make_db(db_id="db-2"))
+
+    def test_core_range(self):
+        selector = DatabaseSelector(min_cores=4, max_cores=16)
+        assert selector.matches(make_db("GP_Gen5_8"))
+        assert not selector.matches(make_db("GP_Gen5_2"))
+        assert not selector.matches(make_db("GP_Gen5_32"))
+
+    def test_invalid_core_range(self):
+        with pytest.raises(ModelSpecError):
+            DatabaseSelector(min_cores=8, max_cores=4)
+
+    def test_conjunction(self):
+        selector = DatabaseSelector(edition=Edition.STANDARD_GP, min_cores=8)
+        assert selector.matches(make_db("GP_Gen5_8"))
+        assert not selector.matches(make_db("BC_Gen5_8"))
+        assert not selector.matches(make_db("GP_Gen5_4"))
+
+    def test_attribute_roundtrip(self):
+        selector = DatabaseSelector(edition=Edition.PREMIUM_BC,
+                                    slo_names=frozenset({"BC_Gen5_2",
+                                                         "BC_Gen5_4"}),
+                                    min_cores=2, max_cores=8)
+        restored = DatabaseSelector.from_attributes(selector.to_attributes())
+        assert restored == selector
+
+    def test_empty_attribute_roundtrip(self):
+        assert DatabaseSelector.from_attributes({}) == DatabaseSelector()
+
+    def test_bad_edition_attribute(self):
+        with pytest.raises(ModelSpecError):
+            DatabaseSelector.from_attributes({"edition": "Hyperscale"})

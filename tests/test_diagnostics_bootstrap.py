@@ -1,0 +1,136 @@
+"""Tests for training diagnostics and bootstrap intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.models.diagnostics import (
+    diagnose_schedule,
+    diagnose_trace,
+    diurnal_strength,
+)
+from repro.models.hourly import HourlyTrainingSets
+from repro.sqldb.editions import Edition
+from repro.stats.bootstrap import (
+    bootstrap_mean,
+    bootstrap_mean_difference,
+    bootstrap_paired_difference,
+)
+from repro.telemetry.production import ProductionTraceGenerator
+from repro.telemetry.region import US_EAST_LIKE
+
+
+class TestDiurnalStrength:
+    def test_flat_profile_scores_zero(self):
+        assert diurnal_strength(np.full(24, 5.0)) == 0.0
+
+    def test_smooth_bump_scores_high(self):
+        hours = np.arange(24)
+        profile = 10 + 40 * np.exp(-((hours - 13) / 4.0) ** 2)
+        assert diurnal_strength(profile) > 0.8
+
+    def test_pure_noise_scores_low(self):
+        rng = np.random.default_rng(0)
+        profile = rng.normal(10, 5, size=24)
+        assert diurnal_strength(profile) < 0.6
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TrainingError):
+            diurnal_strength(np.ones(12))
+
+
+class TestScheduleDiagnostics:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        generator = ProductionTraceGenerator(US_EAST_LIKE,
+                                             np.random.default_rng(6))
+        return generator.event_trace(Edition.STANDARD_GP, "create",
+                                     days=14)
+
+    def test_trained_gp_schedule_healthy(self, trace):
+        diagnostics = diagnose_trace(trace)
+        assert diagnostics.healthy()
+        assert diagnostics.diurnal_strength > 0.5
+        assert diagnostics.weekday_weekend_contrast > 1.3
+        assert diagnostics.min_sample_count >= 4
+
+    def test_cell_counts_match_training_window(self, trace):
+        diagnostics = diagnose_trace(trace)
+        weekday_cells = [c for c in diagnostics.cells
+                         if c.daytype is DayType.WEEKDAY]
+        assert all(c.sample_count == 10 for c in weekday_cells)
+
+    def test_flat_schedule_flagged_unhealthy(self):
+        schedule = HourlyNormalSchedule.constant(5.0, 1.0)
+        sets = HourlyTrainingSets(groups={
+            (daytype, hour): [5.0, 5.0, 5.0]
+            for daytype in DayType for hour in range(24)})
+        diagnostics = diagnose_schedule(schedule, sets)
+        assert diagnostics.diurnal_strength == 0.0
+        assert not diagnostics.healthy()
+
+    def test_noisy_cells_counted(self):
+        schedule = HourlyNormalSchedule.constant(1.0, 5.0)  # sigma >> mu
+        sets = HourlyTrainingSets(groups={})
+        diagnostics = diagnose_schedule(schedule, sets)
+        assert diagnostics.noisy_cell_count == 48
+        assert "noisy-cells=48" in diagnostics.summary()
+
+
+class TestBootstrap:
+    def test_interval_contains_true_mean(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(10.0, 2.0, size=200)
+        interval = bootstrap_mean(sample)
+        assert interval.low < 10.0 < interval.high
+        assert interval.estimate == pytest.approx(sample.mean())
+
+    def test_confidence_widens_interval(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(0.0, 1.0, size=100)
+        narrow = bootstrap_mean(sample, confidence=0.80)
+        wide = bootstrap_mean(sample, confidence=0.99)
+        assert wide.high - wide.low > narrow.high - narrow.low
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_mean(sample, seed=7)
+        b = bootstrap_mean(sample, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_difference_detects_shift(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(12.0, 1.0, size=100)
+        b = rng.normal(10.0, 1.0, size=100)
+        interval = bootstrap_mean_difference(a, b)
+        assert interval.excludes_zero
+        assert interval.estimate == pytest.approx(2.0, abs=0.5)
+
+    def test_difference_of_identical_includes_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 1.0, size=100)
+        b = rng.normal(10.0, 1.0, size=100)
+        assert not bootstrap_mean_difference(a, b).excludes_zero
+
+    def test_paired_uses_correlation(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(100.0, 20.0, size=50)   # large between-unit var
+        a = base + rng.normal(1.0, 0.5, size=50)  # small paired shift
+        b = base
+        paired = bootstrap_paired_difference(a, b)
+        unpaired = bootstrap_mean_difference(a, b)
+        assert paired.excludes_zero          # pairing exposes the shift
+        assert paired.high - paired.low < unpaired.high - unpaired.low
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            bootstrap_mean([1.0])
+        with pytest.raises(TrainingError):
+            bootstrap_mean([1.0, 2.0], confidence=1.5)
+        with pytest.raises(TrainingError):
+            bootstrap_paired_difference([1.0, 2.0], [1.0])
+
+    def test_str_rendering(self):
+        interval = bootstrap_mean([1.0, 2.0, 3.0, 4.0])
+        assert "@95%" in str(interval)

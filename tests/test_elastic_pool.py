@@ -1,0 +1,129 @@
+"""Tests for the Elastic Pools extension (§5.5 future work)."""
+
+import pytest
+
+from repro.core.model_base import TotoModelSet
+from repro.errors import SqlDbError
+from repro.fabric.metrics import DISK_GB
+from repro.sqldb.editions import Edition
+from repro.sqldb.elastic_pool import ElasticPoolManager
+from repro.sqldb.rgmanager import persisted_load_key
+from repro.units import HOUR
+from tests.conftest import make_flat_disk_model, make_ring
+
+
+@pytest.fixture
+def ring(kernel, rng_registry):
+    return make_ring(kernel, rng_registry, node_count=6)
+
+
+@pytest.fixture
+def manager(ring):
+    return ElasticPoolManager(ring.control_plane)
+
+
+class TestPoolLifecycle:
+    def test_create_pool_places_service(self, ring, manager):
+        pool = manager.create_pool("BC_Gen5_8", now=0)
+        assert ring.cluster.has_service(pool.pool_id)
+        assert ring.cluster.reserved_cores() == 32.0  # 8 cores x 4
+
+    def test_pool_starts_empty(self, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        assert pool.active_members == []
+        assert pool.member_data_gb == 0.0
+
+    def test_drop_pool_releases_everything(self, ring, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        manager.add_member(pool.pool_id, "orders", 20.0, now=0)
+        manager.drop_pool(pool.pool_id, now=HOUR)
+        assert ring.cluster.reserved_cores() == 0.0
+        with pytest.raises(SqlDbError):
+            manager.pool(pool.pool_id)
+
+    def test_unknown_pool(self, manager):
+        with pytest.raises(SqlDbError):
+            manager.pool("pool-nope")
+
+
+class TestMembership:
+    def test_add_member_grows_billed_data(self, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        before = pool.database.initial_data_gb
+        manager.add_member(pool.pool_id, "orders", 25.0, now=0)
+        assert pool.database.initial_data_gb == pytest.approx(before + 25.0)
+        assert pool.member_data_gb == 25.0
+
+    def test_duplicate_member_rejected(self, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        manager.add_member(pool.pool_id, "orders", 5.0, now=0)
+        with pytest.raises(SqlDbError):
+            manager.add_member(pool.pool_id, "orders", 5.0, now=0)
+
+    def test_capacity_headroom_enforced(self, manager):
+        pool = manager.create_pool("BC_Gen5_2", now=0)
+        cap = pool.database.slo.max_data_gb
+        with pytest.raises(SqlDbError):
+            manager.add_member(pool.pool_id, "huge", cap, now=0)
+
+    def test_remove_member(self, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        manager.add_member(pool.pool_id, "orders", 25.0, now=0)
+        manager.remove_member(pool.pool_id, "orders", now=HOUR)
+        assert pool.active_members == []
+        member = pool.members[0]
+        assert member.removed_at == HOUR
+
+    def test_remove_unknown_member(self, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        with pytest.raises(SqlDbError):
+            manager.remove_member(pool.pool_id, "ghost", now=0)
+
+    def test_move_member_between_pools(self, manager):
+        a = manager.create_pool("GP_Gen5_4", now=0)
+        b = manager.create_pool("GP_Gen5_8", now=0)
+        manager.add_member(a.pool_id, "orders", 25.0, now=0)
+        manager.move_member(a.pool_id, b.pool_id, "orders", now=HOUR)
+        assert a.active_members == []
+        assert b.member(member_name := "orders").data_gb == 25.0
+        assert b.member(member_name).added_at == HOUR
+
+
+class TestDiskIntegration:
+    def test_bc_pool_membership_updates_persisted_disk(self, ring, manager,
+                                                       kernel):
+        """Once Toto governs the pool's disk, membership changes land in
+        the Naming Service and flow to the PLB on the next report."""
+        model = make_flat_disk_model(Edition.PREMIUM_BC, mu=0.0,
+                                     rate_heterogeneity=0.0)
+        for rgmanager in ring.rgmanagers:
+            rgmanager.install_models(TotoModelSet([model]), 1)
+        ring.start()
+        pool = manager.create_pool("BC_Gen5_8", now=0)
+        kernel.run_until(10 * 60)  # let the primary persist its load
+
+        key = persisted_load_key(pool.pool_id, DISK_GB)
+        before = ring.cluster.naming.get(key)
+        manager.add_member(pool.pool_id, "warehouse", 200.0,
+                           now=kernel.now)
+        assert ring.cluster.naming.get(key) == pytest.approx(before + 200.0)
+
+        kernel.run_until(kernel.now + 10 * 60)
+        primary = ring.cluster.service(pool.pool_id).primary
+        assert primary.load(DISK_GB) == pytest.approx(before + 200.0)
+
+    def test_gp_pool_membership_bills_only(self, ring, manager):
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        manager.add_member(pool.pool_id, "orders", 25.0, now=0)
+        # Remote-store pools keep data off the local disk.
+        replica = ring.cluster.service(pool.pool_id).replicas[0]
+        assert replica.load(DISK_GB) < 25.0
+
+    def test_pool_revenue_reflects_membership(self, ring, manager):
+        from repro.revenue.adjusted import database_revenue
+        pool = manager.create_pool("GP_Gen5_4", now=0)
+        empty = database_revenue(pool.database, now=HOUR)
+        manager.add_member(pool.pool_id, "orders", 100.0, now=0)
+        loaded = database_revenue(pool.database, now=HOUR)
+        assert loaded.storage_revenue > empty.storage_revenue
+        assert loaded.compute_revenue == empty.compute_revenue

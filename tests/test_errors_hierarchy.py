@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy contract.
+
+Callers rely on two properties: every library error is caught by
+``except ReproError``, and subsystem bases (FabricError, SqlDbError,
+ModelError) partition their children so callers can be selective.
+"""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SimulationError,
+    errors.FabricError,
+    errors.PlacementError,
+    errors.CapacityError,
+    errors.NamingServiceError,
+    errors.UnknownReplicaError,
+    errors.SqlDbError,
+    errors.UnknownSloError,
+    errors.UnknownDatabaseError,
+    errors.AdmissionRejected,
+    errors.ModelError,
+    errors.ModelSpecError,
+    errors.TrainingError,
+    errors.ScenarioError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize("exc", [errors.PlacementError,
+                                     errors.CapacityError,
+                                     errors.NamingServiceError,
+                                     errors.UnknownReplicaError])
+    def test_fabric_family(self, exc):
+        assert issubclass(exc, errors.FabricError)
+        assert not issubclass(exc, errors.SqlDbError)
+
+    @pytest.mark.parametrize("exc", [errors.UnknownSloError,
+                                     errors.UnknownDatabaseError,
+                                     errors.AdmissionRejected])
+    def test_sqldb_family(self, exc):
+        assert issubclass(exc, errors.SqlDbError)
+        assert not issubclass(exc, errors.FabricError)
+
+    @pytest.mark.parametrize("exc", [errors.ModelSpecError,
+                                     errors.TrainingError])
+    def test_model_family(self, exc):
+        assert issubclass(exc, errors.ModelError)
+
+    def test_admission_rejected_carries_capacity_context(self):
+        exc = errors.AdmissionRejected("full", required_cores=96,
+                                       free_cores=12)
+        assert exc.required_cores == 96
+        assert exc.free_cores == 12
+        assert "full" in str(exc)
+
+    def test_repro_error_not_caught_by_foreign_except(self):
+        with pytest.raises(errors.ReproError):
+            try:
+                raise errors.PlacementError("no room")
+            except (ValueError, KeyError):  # must not swallow
+                pytest.fail("library error caught by builtin handler")

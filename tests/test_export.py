@@ -1,0 +1,63 @@
+"""Tests for JSON result export."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.runner import run_scenario
+from repro.experiments.density import DensityStudy
+from repro.experiments.export import (
+    result_to_dict,
+    study_to_dict,
+    write_json,
+)
+from tests.test_runner_integration import small_scenario
+
+
+@pytest.fixture(scope="module")
+def result(tiny_document):
+    return run_scenario(small_scenario(tiny_document, hours=4))
+
+
+class TestResultExport:
+    def test_roundtrips_through_json(self, result):
+        payload = result_to_dict(result)
+        restored = json.loads(json.dumps(payload))
+        assert restored == payload
+
+    def test_kpis_present(self, result):
+        payload = result_to_dict(result)
+        assert payload["kpis"]["final_reserved_cores"] == \
+            result.kpis.final_reserved_cores
+        assert payload["revenue"]["adjusted"] == pytest.approx(
+            result.revenue.total_adjusted)
+
+    def test_hourly_series(self, result):
+        payload = result_to_dict(result)
+        assert len(payload["hourly"]) == len(result.frames)
+        assert payload["hourly"][0]["hour"] == 0
+
+    def test_write_to_path(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        write_json(result, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["scenario"]["name"] == result.scenario.name
+
+    def test_write_to_handle(self, result):
+        buffer = io.StringIO()
+        write_json(result, buffer)
+        buffer.seek(0)
+        assert json.load(buffer)["scenario"]["seed"] == \
+            result.scenario.seed
+
+
+class TestStudyExport:
+    def test_small_study_export(self):
+        study = DensityStudy(densities=(1.0, 1.2), days=0.2,
+                             maintenance=False)
+        payload = study_to_dict(study)
+        json.dumps(payload)  # must be serializable
+        assert set(payload["runs"]) == {"100", "120"}
+        assert payload["table3"][0]["density_pct"] == 100
+        assert len(payload["figure14"]) == 2

@@ -1,0 +1,72 @@
+"""Tests for the simulated-annealing minimizer."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.annealing import anneal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestAnneal:
+    def test_finds_minimum_of_quadratic(self, rng):
+        result = anneal(
+            initial=10.0,
+            energy=lambda x: (x - 3.0) ** 2,
+            neighbour=lambda x, r: x + r.normal(0, 1.0),
+            rng=rng,
+            iterations=500,
+        )
+        assert result.state == pytest.approx(3.0, abs=0.5)
+
+    def test_returns_best_not_last(self, rng):
+        # With huge temperature the walk accepts uphill moves freely,
+        # but the result must still be the best state ever seen.
+        visited = []
+
+        def energy(x):
+            visited.append(x)
+            return abs(x)
+
+        result = anneal(0.0, energy,
+                        lambda x, r: x + r.normal(0, 5.0), rng,
+                        iterations=50, initial_temperature=1e9,
+                        cooling=1.0)
+        assert result.energy == min(abs(v) for v in visited)
+
+    def test_zero_iterations_returns_initial(self, rng):
+        result = anneal(42.0, lambda x: x, lambda x, r: x - 1, rng,
+                        iterations=0)
+        assert result.state == 42.0
+        assert result.accepted_moves == 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            return anneal(0.0, lambda x: (x - 1) ** 2,
+                          lambda x, r: x + r.normal(0, 0.5),
+                          np.random.default_rng(seed), iterations=100)
+        assert run(5).state == run(5).state
+        assert run(5).energy == run(5).energy
+
+    def test_discrete_state_space(self, rng):
+        # Minimize over permutations-ish: pick subsets of {0..9} of size 2
+        # minimizing the sum.
+        def neighbour(state, r):
+            state = list(state)
+            state[int(r.integers(2))] = int(r.integers(10))
+            if state[0] == state[1]:
+                state[1] = (state[1] + 1) % 10
+            return tuple(state)
+
+        result = anneal((9, 8), lambda s: sum(s), neighbour, rng,
+                        iterations=300)
+        assert sum(result.state) <= 3
+
+    def test_downhill_always_accepted(self, rng):
+        result = anneal(100.0, lambda x: x, lambda x, r: x - 1.0, rng,
+                        iterations=10, initial_temperature=1e-9)
+        assert result.state == 90.0
+        assert result.accepted_moves == 10

@@ -1,0 +1,95 @@
+"""Tests for the Naming Service metastore."""
+
+import pytest
+
+from repro.errors import NamingServiceError
+from repro.fabric.naming import NamingService
+
+
+@pytest.fixture
+def naming():
+    return NamingService()
+
+
+class TestBasicOps:
+    def test_put_get(self, naming):
+        naming.put("k", "v")
+        assert naming.get("k") == "v"
+
+    def test_get_missing_raises(self, naming):
+        with pytest.raises(NamingServiceError):
+            naming.get("missing")
+
+    def test_get_or_default(self, naming):
+        assert naming.get_or_default("missing") is None
+        assert naming.get_or_default("missing", 7) == 7
+
+    def test_overwrite(self, naming):
+        naming.put("k", 1)
+        naming.put("k", 2)
+        assert naming.get("k") == 2
+
+    def test_exists(self, naming):
+        assert not naming.exists("k")
+        naming.put("k", 1)
+        assert naming.exists("k")
+
+    def test_delete(self, naming):
+        naming.put("k", 1)
+        naming.delete("k")
+        assert not naming.exists("k")
+
+    def test_delete_missing_raises(self, naming):
+        with pytest.raises(NamingServiceError):
+            naming.delete("missing")
+
+    def test_delete_if_exists(self, naming):
+        assert not naming.delete_if_exists("k")
+        naming.put("k", 1)
+        assert naming.delete_if_exists("k")
+
+    def test_len_and_iter(self, naming):
+        naming.put("b", 1)
+        naming.put("a", 2)
+        assert len(naming) == 2
+        assert list(naming) == ["a", "b"]
+
+
+class TestVersions:
+    def test_version_starts_at_zero(self, naming):
+        assert naming.version("k") == 0
+
+    def test_version_increments_on_put(self, naming):
+        assert naming.put("k", "x") == 1
+        assert naming.put("k", "y") == 2
+        assert naming.version("k") == 2
+
+    def test_versions_independent_per_key(self, naming):
+        naming.put("a", 1)
+        naming.put("a", 2)
+        naming.put("b", 1)
+        assert naming.version("a") == 2
+        assert naming.version("b") == 1
+
+
+class TestPrefixScan:
+    def test_keys_by_prefix(self, naming):
+        naming.put("toto/load/db-1/disk", 10)
+        naming.put("toto/load/db-2/disk", 20)
+        naming.put("toto/models/xml", "<x/>")
+        assert naming.keys("toto/load/") == [
+            "toto/load/db-1/disk", "toto/load/db-2/disk"]
+
+    def test_all_keys_sorted(self, naming):
+        naming.put("z", 1)
+        naming.put("a", 1)
+        assert naming.keys() == ["a", "z"]
+
+
+class TestCounters:
+    def test_read_write_counters(self, naming):
+        naming.put("k", 1)
+        naming.get("k")
+        naming.get_or_default("other")
+        assert naming.writes == 1
+        assert naming.reads == 2

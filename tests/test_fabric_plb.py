@@ -1,0 +1,197 @@
+"""Tests for the PLB: placement, make-room, and capacity violations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.fabric.cluster import ServiceFabricCluster
+from repro.fabric.failover import REASON_CAPACITY_VIOLATION, REASON_MAKE_ROOM
+from repro.fabric.metrics import CPU_CORES, DISK_GB, NodeCapacities
+from repro.fabric.replica import ReplicaRole
+
+
+def make_cluster(node_count=4, cpu=32.0, disk=1000.0, seed=3,
+                 use_annealing=True):
+    return ServiceFabricCluster(
+        node_count=node_count,
+        capacities=NodeCapacities(cpu_cores=cpu, disk_gb=disk,
+                                  memory_gb=128.0),
+        plb_rng=np.random.default_rng(seed),
+        use_annealing=use_annealing)
+
+
+class TestPlacement:
+    def test_single_replica_placed(self):
+        cluster = make_cluster()
+        record = cluster.create_service("db-1", 1, 4.0, {DISK_GB: 10.0},
+                                        now=0)
+        assert len(record.replicas) == 1
+        assert record.replicas[0].node_id is not None
+
+    def test_replicas_on_distinct_nodes(self):
+        cluster = make_cluster()
+        record = cluster.create_service("db-1", 4, 2.0, {DISK_GB: 10.0},
+                                        now=0)
+        node_ids = [replica.node_id for replica in record.replicas]
+        assert len(set(node_ids)) == 4
+
+    def test_first_replica_is_primary(self):
+        cluster = make_cluster()
+        record = cluster.create_service("db-1", 4, 2.0, {}, now=0)
+        assert record.replicas[0].role is ReplicaRole.PRIMARY
+        assert all(replica.role is ReplicaRole.SECONDARY
+                   for replica in record.replicas[1:])
+
+    def test_insufficient_nodes_rejected(self):
+        cluster = make_cluster(node_count=3)
+        with pytest.raises(PlacementError):
+            cluster.create_service("db-1", 4, 2.0, {}, now=0)
+
+    def test_cpu_capacity_respected(self):
+        cluster = make_cluster(node_count=2, cpu=8.0)
+        cluster.create_service("a", 1, 8.0, {}, now=0)
+        cluster.create_service("b", 1, 8.0, {}, now=0)
+        with pytest.raises(PlacementError):
+            cluster.create_service("c", 1, 8.0, {}, now=0)
+
+    def test_disk_capacity_respected(self):
+        cluster = make_cluster(node_count=1, disk=100.0)
+        with pytest.raises(PlacementError):
+            cluster.create_service("big", 1, 1.0, {DISK_GB: 200.0}, now=0)
+
+    def test_greedy_mode_spreads_by_free_cpu(self):
+        cluster = make_cluster(use_annealing=False)
+        cluster.create_service("a", 1, 10.0, {}, now=0)
+        record = cluster.create_service("b", 1, 10.0, {}, now=0)
+        # Greedy picks the freest node, never the one hosting "a".
+        a_node = cluster.service("a").replicas[0].node_id
+        assert record.replicas[0].node_id != a_node
+
+    def test_placement_balances_load(self):
+        cluster = make_cluster(node_count=4)
+        for index in range(8):
+            cluster.create_service(f"svc-{index}", 1, 4.0, {}, now=0)
+        loads = [node.load(CPU_CORES) for node in cluster.nodes]
+        assert max(loads) - min(loads) <= 4.0
+
+
+class TestMakeRoom:
+    def test_placement_succeeds_after_make_room(self):
+        # Fill both nodes to 28/32 cores with small services; a 6-core
+        # request then needs a relocation to fit.
+        cluster = make_cluster(node_count=2, cpu=32.0)
+        for index in range(14):
+            cluster.create_service(f"s{index}", 1, 4.0, {}, now=0)
+        record = cluster.create_service("big", 1, 6.0, {}, now=0)
+        assert record.replicas[0].node_id is not None
+        moves = [r for r in cluster.failovers
+                 if r.reason == REASON_MAKE_ROOM]
+        assert moves, "expected at least one make-room move"
+
+    def test_make_room_moves_counted_separately(self):
+        cluster = make_cluster(node_count=2, cpu=32.0)
+        for index in range(14):
+            cluster.create_service(f"s{index}", 1, 4.0, {}, now=0)
+        cluster.create_service("big", 1, 6.0, {}, now=0)
+        assert cluster.plb.stats.make_room_moves >= 1
+        for record in cluster.failovers:
+            assert record.reason == REASON_MAKE_ROOM
+            assert not record.is_capacity_failover
+
+    def test_impossible_even_with_make_room(self):
+        cluster = make_cluster(node_count=1, cpu=8.0)
+        cluster.create_service("a", 1, 8.0, {}, now=0)
+        with pytest.raises(PlacementError):
+            cluster.create_service("b", 1, 4.0, {}, now=0)
+
+
+class TestViolations:
+    def test_disk_violation_triggers_failover(self):
+        cluster = make_cluster(node_count=2, disk=100.0)
+        a = cluster.create_service("a", 1, 2.0, {DISK_GB: 60.0}, now=0)
+        b = cluster.create_service("b", 1, 2.0, {DISK_GB: 60.0}, now=0)
+        # Force both onto violation: report b's disk growing past capacity
+        # on whichever node it shares... place them on the same node is
+        # impossible (2 nodes, balanced), so grow one replica past 100.
+        replica = a.replicas[0]
+        cluster.report_load(replica, {DISK_GB: 120.0})
+        node = cluster.node(replica.node_id)
+        assert node.violates(DISK_GB)
+        records = cluster.sweep_violations(now=10)
+        # The replica itself cannot fit anywhere (120 > 100): the sweep
+        # must not crash; either it moved the other tenant or got stuck.
+        assert all(r.reason == REASON_CAPACITY_VIOLATION for r in records)
+
+    def test_violation_fixed_by_moving_smallest_covering(self):
+        cluster = make_cluster(node_count=3, disk=100.0, cpu=64.0)
+        services = []
+        for index, disk in enumerate((40.0, 30.0, 20.0)):
+            services.append(cluster.create_service(
+                f"s{index}", 1, 2.0, {DISK_GB: disk}, now=0))
+        # Manually pile all three onto node 0 to create a violation.
+        for record in services:
+            replica = record.replicas[0]
+            if replica.node_id != 0:
+                cluster.node(replica.node_id).detach(replica)
+                cluster.node(0).attach(replica)
+        cluster.node(0).recompute_loads()
+        assert cluster.node(0).load(DISK_GB) == pytest.approx(90.0)
+        cluster.report_load(services[0].replicas[0], {DISK_GB: 55.0})
+        assert cluster.node(0).violates(DISK_GB)
+
+        records = cluster.sweep_violations(now=5)
+        assert records, "violation should be fixed by a move"
+        assert not cluster.node(0).violates(DISK_GB)
+        # Smallest replica that covers the 5GB excess is the 20GB one.
+        assert records[0].disk_moved_gb == pytest.approx(20.0)
+
+    def test_primary_move_promotes_secondary(self):
+        cluster = make_cluster(node_count=5, disk=100.0)
+        record = cluster.create_service("bc", 4, 2.0, {DISK_GB: 30.0},
+                                        now=0)
+        primary = record.primary
+        primary_node = cluster.node(primary.node_id)
+        cluster.report_load(primary, {DISK_GB: 120.0})
+        cluster.sweep_violations(now=5)
+        # A new primary must exist and be unique.
+        primaries = [replica for replica in record.replicas
+                     if replica.is_primary]
+        assert len(primaries) == 1
+        cluster.validate_invariants()
+
+    def test_downtime_recorded_for_primary_moves(self):
+        cluster = make_cluster(node_count=2, disk=100.0)
+        record = cluster.create_service("gp", 1, 2.0, {DISK_GB: 60.0},
+                                        now=0)
+        cluster.create_service("gp2", 1, 2.0, {DISK_GB: 30.0}, now=0)
+        replica = record.replicas[0]
+        cluster.report_load(replica, {DISK_GB: 80.0})
+        records = cluster.sweep_violations(now=5)
+        if records:  # single-replica moves always carry downtime
+            assert all(r.downtime_seconds > 0 for r in records
+                       if r.role is ReplicaRole.PRIMARY)
+
+    def test_stuck_violation_counted(self):
+        cluster = make_cluster(node_count=1, disk=100.0)
+        record = cluster.create_service("only", 1, 2.0, {DISK_GB: 50.0},
+                                        now=0)
+        cluster.report_load(record.replicas[0], {DISK_GB: 150.0})
+        records = cluster.sweep_violations(now=5)
+        assert records == []
+        assert cluster.plb.stats.stuck_violations == 1
+
+
+class TestInvariants:
+    def test_validate_after_churn(self):
+        cluster = make_cluster(node_count=6, cpu=64.0, disk=2000.0)
+        rng = np.random.default_rng(0)
+        for index in range(30):
+            replica_count = 4 if index % 5 == 0 else 1
+            cluster.create_service(f"svc-{index}", replica_count,
+                                   float(rng.integers(2, 9)),
+                                   {DISK_GB: float(rng.integers(5, 80))},
+                                   now=index)
+        for index in range(0, 30, 3):
+            cluster.drop_service(f"svc-{index}")
+        cluster.validate_invariants()
+        assert cluster.service_count == 20

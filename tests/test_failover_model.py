@@ -1,0 +1,88 @@
+"""Tests for the failover downtime/rebuild cost model."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.failover import (
+    BC_PRIMARY_PROMOTION_RANGE,
+    GP_FAILOVER_DOWNTIME_RANGE,
+    PLANNED_MOVE_DOWNTIME_RANGE,
+    REASON_CAPACITY_VIOLATION,
+    REASON_MAKE_ROOM,
+    FailoverRecord,
+    failover_downtime,
+    rebuild_seconds,
+)
+from repro.fabric.metrics import CPU_CORES, DISK_GB
+from repro.fabric.replica import Replica, ReplicaRole
+
+
+def make_replica(role=ReplicaRole.PRIMARY):
+    return Replica(replica_id=1, service_id="db-1", role=role,
+                   reported={CPU_CORES: 4.0, DISK_GB: 100.0})
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDowntime:
+    def test_single_replica_reattach_window(self, rng):
+        low, high = GP_FAILOVER_DOWNTIME_RANGE
+        for _ in range(50):
+            downtime = failover_downtime(make_replica(), 1, rng)
+            assert low <= downtime <= high
+
+    def test_bc_primary_promotion_window(self, rng):
+        low, high = BC_PRIMARY_PROMOTION_RANGE
+        for _ in range(50):
+            downtime = failover_downtime(make_replica(), 4, rng)
+            assert low <= downtime <= high
+
+    def test_secondary_move_invisible(self, rng):
+        secondary = make_replica(ReplicaRole.SECONDARY)
+        assert failover_downtime(secondary, 4, rng) == 0.0
+
+    def test_planned_move_graceful(self, rng):
+        low, high = PLANNED_MOVE_DOWNTIME_RANGE
+        for _ in range(50):
+            downtime = failover_downtime(make_replica(), 1, rng,
+                                         planned=True)
+            assert low <= downtime <= high
+
+    def test_planned_secondary_still_free(self, rng):
+        secondary = make_replica(ReplicaRole.SECONDARY)
+        assert failover_downtime(secondary, 4, rng, planned=True) == 0.0
+
+    def test_planned_cheaper_than_unplanned(self, rng):
+        assert max(PLANNED_MOVE_DOWNTIME_RANGE) < \
+            min(GP_FAILOVER_DOWNTIME_RANGE)
+
+
+class TestRebuild:
+    def test_remote_store_no_rebuild(self):
+        assert rebuild_seconds(500.0, 1) == 0.0
+
+    def test_local_store_scales_with_disk(self):
+        small = rebuild_seconds(100.0, 4)
+        large = rebuild_seconds(1000.0, 4)
+        assert large == pytest.approx(10 * small)
+        assert small > 0
+
+
+class TestRecord:
+    def make_record(self, reason):
+        return FailoverRecord(
+            time=0, service_id="db-1", replica_id=1,
+            role=ReplicaRole.PRIMARY, from_node=0, to_node=1,
+            metric=DISK_GB, cores_moved=4.0, disk_moved_gb=100.0,
+            downtime_seconds=30.0, rebuild_seconds=300.0, reason=reason)
+
+    def test_capacity_failover_flag(self):
+        assert self.make_record(REASON_CAPACITY_VIOLATION) \
+            .is_capacity_failover
+        assert not self.make_record(REASON_MAKE_ROOM).is_capacity_failover
+
+    def test_primary_flag(self):
+        assert self.make_record(REASON_MAKE_ROOM).is_primary

@@ -1,0 +1,79 @@
+"""Integration: a node failure in the middle of a running benchmark.
+
+Exercises the §5.2 reality that stage clusters suffer "intermittent
+failures that also happen in production" while Toto is mid-run: the
+displaced replicas are rebuilt, persisted BC disk survives the hop,
+GP tempdb resets, downtime lands on the affected databases, and the
+run completes with clean invariants.
+"""
+
+import pytest
+
+from repro.core.runner import BenchmarkRunner
+from repro.fabric.failover import REASON_NODE_FAILURE
+from repro.units import HOUR
+from tests.test_runner_integration import small_scenario
+
+
+@pytest.fixture(scope="module")
+def failed_run(tiny_document):
+    scenario = small_scenario(tiny_document, hours=8)
+    runner = BenchmarkRunner(scenario)
+    victim = 2
+
+    def inject() -> None:
+        runner.ring.cluster.fail_node(victim, runner.kernel.now)
+
+    def recover() -> None:
+        runner.ring.cluster.restore_node(victim)
+
+    runner.kernel.schedule(scenario.bootstrap_settle + 3 * HOUR, inject,
+                           label="inject-node-failure")
+    runner.kernel.schedule(scenario.bootstrap_settle + 5 * HOUR, recover,
+                           label="recover-node")
+    result = runner.run()
+    return runner, result, victim
+
+
+class TestFailureMidRun:
+    def test_run_completes_with_invariants(self, failed_run):
+        runner, result, __ = failed_run
+        runner.ring.cluster.validate_invariants()
+        assert result.frames, "telemetry survived the failure"
+
+    def test_node_failure_failovers_recorded(self, failed_run):
+        __, result, victim = failed_run
+        evacuations = [record for record in result.failovers
+                       if record.reason == REASON_NODE_FAILURE]
+        assert evacuations, "expected evacuation records"
+        assert all(record.from_node == victim for record in evacuations)
+
+    def test_failed_node_empty_until_recovery(self, failed_run):
+        runner, result, victim = failed_run
+        # Frames between injection (h3) and recovery (h5) show the
+        # victim node contributing nothing.
+        for frame in result.frames:
+            if 4 <= frame.hour_index < 5:
+                assert frame.node_cores[victim] == 0.0
+
+    def test_node_refills_after_recovery(self, failed_run):
+        runner, __, victim = failed_run
+        # After recovery the node is placeable again; with ongoing churn
+        # it usually hosts something by the end — at minimum it must be
+        # marked available.
+        assert runner.ring.cluster.node(victim).available
+
+    def test_downtime_booked_on_databases(self, failed_run):
+        __, result, __ = failed_run
+        impacted = [db for db in result.databases
+                    if db.downtime_seconds > 0]
+        assert impacted, "a node failure must hurt someone"
+
+    def test_capacity_failovers_exclude_evacuations(self, failed_run):
+        __, result, __ = failed_run
+        kpis = result.kpis.failovers
+        evacuations = sum(1 for record in result.failovers
+                          if record.reason == REASON_NODE_FAILURE)
+        assert kpis.count == len(result.failovers) - evacuations - sum(
+            1 for record in result.failovers
+            if record.reason == "make-room")

@@ -1,0 +1,104 @@
+"""Toto's generality: a custom ResourceModel on a non-SQL service.
+
+Backs the paper's closing claim that the framework "applies to any
+cloud service that leverages cluster orchestration": a user-defined
+model plugged into TotoModelSet drives a memory metric, and the same
+PLB governs memory capacity violations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model_base import ModelContext, ResourceModel, TotoModelSet
+from repro.core.selectors import ALL_DATABASES
+from repro.fabric.cluster import ServiceFabricCluster
+from repro.fabric.metrics import MEMORY_GB, NodeCapacities
+
+
+class ConstantMemoryModel(ResourceModel):
+    """Simplest possible custom model: a fixed working set."""
+
+    metric = MEMORY_GB
+    persisted = False
+    selector = ALL_DATABASES
+
+    def __init__(self, gb: float) -> None:
+        self.gb = gb
+
+    def kind(self) -> str:
+        return "ConstantMemoryModel"
+
+    def initial_value(self, context: ModelContext) -> float:
+        return self.gb
+
+    def next_value(self, context: ModelContext) -> float:
+        return self.gb
+
+
+class FakePod:
+    def __init__(self, pod_id: str) -> None:
+        self.db_id = pod_id
+
+
+def make_cluster(nodes=3, memory=32.0):
+    return ServiceFabricCluster(
+        node_count=nodes,
+        capacities=NodeCapacities(cpu_cores=16, disk_gb=256,
+                                  memory_gb=memory),
+        plb_rng=np.random.default_rng(5))
+
+
+class TestCustomModel:
+    def test_model_set_accepts_custom_subclass(self):
+        model_set = TotoModelSet([ConstantMemoryModel(4.0)])
+        assert model_set.find(MEMORY_GB, FakePod("p")) is not None
+
+    def test_custom_model_drives_reports(self):
+        cluster = make_cluster()
+        record = cluster.create_service("pod-0", 1, 2.0,
+                                        {MEMORY_GB: 1.0}, now=0)
+        model = TotoModelSet([ConstantMemoryModel(9.0)]) \
+            .find(MEMORY_GB, FakePod("pod-0"))
+        replica = record.replicas[0]
+        value = model.next_value(ModelContext(
+            now=300, interval_seconds=300, database=FakePod("pod-0"),
+            is_primary=True, previous_value=1.0,
+            rng=np.random.default_rng(0)))
+        cluster.report_load(replica, {MEMORY_GB: value})
+        assert cluster.nodes[replica.node_id].load(MEMORY_GB) == 9.0
+
+    def test_plb_governs_memory_violations(self):
+        cluster = make_cluster(nodes=3, memory=32.0)
+        replicas = []
+        for index in range(3):
+            record = cluster.create_service(f"pod-{index}", 1, 2.0,
+                                            {MEMORY_GB: 10.0}, now=0)
+            replicas.append(record.replicas[0])
+        # Blow one pod's working set past its node's memory capacity
+        # headroom: two pods at 10 + one at 25 = violation wherever two
+        # land together... force the violation explicitly instead.
+        hot = replicas[0]
+        cluster.report_load(hot, {MEMORY_GB: 40.0})
+        node = cluster.nodes[hot.node_id]
+        assert node.violates(MEMORY_GB)
+        records = cluster.plb.fix_violations(now=300, cluster=cluster,
+                                             metric=MEMORY_GB)
+        # The 40 GB pod can't fit anywhere (32 GB nodes), but any
+        # co-tenant moves out; either way the machinery ran cleanly.
+        assert all(record.metric == MEMORY_GB for record in records)
+        cluster.validate_invariants()
+
+    def test_memory_violation_resolved_when_possible(self):
+        cluster = make_cluster(nodes=3, memory=32.0)
+        a = cluster.create_service("a", 1, 2.0, {MEMORY_GB: 20.0}, now=0)
+        b = cluster.create_service("b", 1, 2.0, {MEMORY_GB: 20.0}, now=0)
+        # Co-locate both, creating a 40 > 32 violation.
+        replica_b = b.replicas[0]
+        if replica_b.node_id != a.replicas[0].node_id:
+            cluster.nodes[replica_b.node_id].detach(replica_b)
+            cluster.nodes[a.replicas[0].node_id].attach(replica_b)
+        assert cluster.nodes[a.replicas[0].node_id].violates(MEMORY_GB)
+        records = cluster.plb.fix_violations(now=300, cluster=cluster,
+                                             metric=MEMORY_GB)
+        assert len(records) == 1
+        assert not cluster.nodes[a.replicas[0].node_id].violates(MEMORY_GB)

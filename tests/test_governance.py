@@ -1,0 +1,128 @@
+"""Tests for noisy-neighbor CPU governance (§3.2 / §5.5)."""
+
+import pytest
+
+from repro.core.cpu_model import CpuUsageModel
+from repro.core.hourly_schedule import HourlyNormalSchedule
+from repro.core.model_base import TotoModelSet
+from repro.core.selectors import ALL_DATABASES
+from repro.errors import SqlDbError
+from repro.sqldb.governance import (
+    CpuGovernor,
+    GovernanceStats,
+    summarize_governors,
+)
+from repro.units import HOUR
+from tests.conftest import SMALL_CAPACITIES, make_ring
+
+
+class TestGovernor:
+    def test_under_limit_untouched(self):
+        governor = CpuGovernor(32.0, limit_fraction=0.9)
+        usage = {1: 10.0, 2: 8.0}
+        assert governor.govern(usage, 300) == usage
+        assert governor.stats.throttle_events == 0
+
+    def test_over_limit_throttled_to_limit(self):
+        governor = CpuGovernor(32.0, limit_fraction=0.5)  # limit 16
+        governed = governor.govern({1: 12.0, 2: 10.0}, 300)
+        assert sum(governed.values()) == pytest.approx(16.0)
+        assert governor.stats.over_limit_observations == 1
+
+    def test_heaviest_throttled_first(self):
+        governor = CpuGovernor(32.0, limit_fraction=0.5,
+                               fair_share_cores=0.0)
+        governed = governor.govern({1: 14.0, 2: 4.0}, 300)
+        # 18 total, 2 excess: all taken from replica 1.
+        assert governed[1] == pytest.approx(12.0)
+        assert governed[2] == pytest.approx(4.0)
+
+    def test_fair_share_floor(self):
+        governor = CpuGovernor(4.0, limit_fraction=0.5,
+                               fair_share_cores=1.0)
+        governed = governor.govern({1: 3.0, 2: 3.0}, 300)
+        # Limit 2 cannot be reached without breaking the 1-core floor;
+        # both replicas keep at least their fair share.
+        assert governed[1] >= 1.0 and governed[2] >= 1.0
+
+    def test_throttled_core_seconds_accumulate(self):
+        governor = CpuGovernor(8.0, limit_fraction=0.5,
+                               fair_share_cores=0.0)
+        governor.govern({1: 6.0}, 600)  # 2 cores cut for 600 s
+        assert governor.stats.throttled_core_seconds == pytest.approx(
+            1200.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SqlDbError):
+            CpuGovernor(0.0)
+        with pytest.raises(SqlDbError):
+            CpuGovernor(8.0, limit_fraction=0.0)
+        with pytest.raises(SqlDbError):
+            CpuGovernor(8.0, fair_share_cores=-1.0)
+
+    def test_over_limit_fraction(self):
+        stats = GovernanceStats(observations=10, over_limit_observations=3)
+        assert stats.over_limit_fraction == pytest.approx(0.3)
+        assert GovernanceStats().over_limit_fraction == 0.0
+
+    def test_monitor_mode_records_without_throttling(self):
+        governor = CpuGovernor(8.0, limit_fraction=0.5, enforce=False)
+        usage = {1: 6.0, 2: 3.0}
+        assert governor.govern(usage, 300) == usage
+        assert governor.stats.over_limit_observations == 1
+        assert governor.stats.throttle_events == 0
+
+    def test_summary(self):
+        governors = [CpuGovernor(8.0, limit_fraction=0.5,
+                                 fair_share_cores=0.0) for _ in range(2)]
+        governors[0].govern({1: 6.0}, 300)
+        governors[1].govern({1: 1.0}, 300)
+        report = summarize_governors(governors)
+        assert report.nodes == 2
+        assert report.observations == 2
+        assert report.throttle_events == 1
+        assert "core-h" in report.row()
+
+
+class TestRingIntegration:
+    def make_governed_ring(self, kernel, rng_registry, utilization):
+        # Limit at 60% of 32 cores = 19.2; three 8-core tenants at full
+        # utilization (24 cores) overrun it.
+        ring = make_ring(kernel, rng_registry, node_count=4,
+                         cpu_governance_limit=0.6)
+        cpu_model = CpuUsageModel(
+            ALL_DATABASES,
+            HourlyNormalSchedule.constant(utilization, 0.0),
+            secondary_fraction=1.0)
+        for rgmanager in ring.rgmanagers:
+            rgmanager.install_models(TotoModelSet([cpu_model]), 1)
+        # Fill each node's reservations close to capacity.
+        for _ in range(12):
+            ring.control_plane.create_database("GP_Gen5_8", now=0,
+                                               initial_data_gb=10.0)
+        ring.start()
+        return ring
+
+    def test_hot_tenants_get_throttled(self, kernel, rng_registry):
+        ring = self.make_governed_ring(kernel, rng_registry,
+                                       utilization=1.0)
+        kernel.run_until(2 * HOUR)
+        report = summarize_governors(r.governor for r in ring.rgmanagers)
+        assert report.raw_over_limit_fraction > 0.5
+        assert report.throttle_events > 0
+        for rgmanager in ring.rgmanagers:
+            if rgmanager.cpu_usage_governed:
+                assert rgmanager.node_cpu_usage(governed=True) <= \
+                    rgmanager.governor.limit_cores + 1e-6
+
+    def test_idle_tenants_never_throttled(self, kernel, rng_registry):
+        ring = self.make_governed_ring(kernel, rng_registry,
+                                       utilization=0.10)
+        kernel.run_until(2 * HOUR)
+        report = summarize_governors(r.governor for r in ring.rgmanagers)
+        assert report.raw_over_limit_fraction == 0.0
+        assert report.throttle_events == 0
+
+    def test_governance_disabled_by_default(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        assert all(r.governor is None for r in ring.rgmanagers)

@@ -1,0 +1,112 @@
+"""Tests for Toto's orchestrator: XML publication and the 15-min refresh."""
+
+import pytest
+
+from repro.core.orchestrator import MODEL_XML_KEY, TotoOrchestrator
+from repro.core.model_xml import TotoModelDocument
+from repro.sqldb.editions import Edition
+from repro.units import MINUTE
+from tests.conftest import make_flat_disk_model, make_ring
+
+
+@pytest.fixture
+def ring(kernel, rng_registry):
+    return make_ring(kernel, rng_registry, node_count=3)
+
+
+@pytest.fixture
+def orchestrator(kernel, ring):
+    return TotoOrchestrator(kernel, ring)
+
+
+def make_document(mu=1.0):
+    return TotoModelDocument(resource_models=[
+        make_flat_disk_model(Edition.PREMIUM_BC, mu=mu,
+                             rate_heterogeneity=0.0)])
+
+
+class TestPublication:
+    def test_publish_writes_xml(self, orchestrator, ring):
+        version = orchestrator.publish_models(make_document())
+        assert version == 1
+        assert ring.cluster.naming.exists(MODEL_XML_KEY)
+
+    def test_publish_bumps_version(self, orchestrator):
+        orchestrator.publish_models(make_document())
+        assert orchestrator.publish_models(make_document(mu=2.0)) == 2
+
+    def test_current_document_roundtrip(self, orchestrator):
+        orchestrator.publish_models(make_document(mu=3.0))
+        document = orchestrator.current_document()
+        assert len(document.resource_models) == 1
+
+    def test_current_document_none_before_publish(self, orchestrator):
+        assert orchestrator.current_document() is None
+
+    def test_propagate_now_installs_everywhere(self, orchestrator, ring):
+        orchestrator.publish_models(make_document(), propagate_now=True)
+        for rgmanager in ring.rgmanagers:
+            assert rgmanager.model_set is not None
+            assert rgmanager.model_version == 1
+
+    def test_clear_models(self, orchestrator, ring):
+        orchestrator.publish_models(make_document(), propagate_now=True)
+        orchestrator.clear_models(propagate_now=True)
+        for rgmanager in ring.rgmanagers:
+            assert rgmanager.model_set is None
+            assert rgmanager.model_version == 0
+
+
+class TestRefreshLoop:
+    def test_nodes_pick_up_xml_within_refresh_interval(
+            self, kernel, ring, orchestrator):
+        orchestrator.start()
+        orchestrator.publish_models(make_document())
+        # Not yet visible...
+        assert all(r.model_set is None for r in ring.rgmanagers)
+        kernel.run_until(16 * MINUTE)
+        assert all(r.model_set is not None for r in ring.rgmanagers)
+
+    def test_update_propagates_within_interval(self, kernel, ring,
+                                               orchestrator):
+        orchestrator.start()
+        orchestrator.publish_models(make_document(), propagate_now=True)
+        orchestrator.publish_models(make_document(mu=9.0))
+        kernel.run_until(kernel.now + 16 * MINUTE)
+        assert all(r.model_version == 2 for r in ring.rgmanagers)
+
+    def test_refresh_skips_parse_when_unchanged(self, kernel, ring,
+                                                orchestrator):
+        orchestrator.start()
+        orchestrator.publish_models(make_document(), propagate_now=True)
+        naming = ring.cluster.naming
+        reads_after_install = naming.reads
+        kernel.run_until(kernel.now + 65 * MINUTE)
+        # 4 refresh rounds x 3 nodes: version checks don't read the
+        # blob, so no further blob reads happened.
+        assert naming.reads == reads_after_install
+
+    def test_republish_after_clear_propagates(self, kernel, ring,
+                                              orchestrator):
+        """Regression: clearing the blob and publishing again must not
+        reuse an old version number, or nodes holding the stale version
+        would silently skip the new models (found by the Naming Service
+        property test)."""
+        orchestrator.start()
+        orchestrator.publish_models(make_document(mu=1.0),
+                                    propagate_now=True)
+        first_version = ring.rgmanagers[0].model_version
+        orchestrator.clear_models(propagate_now=True)
+        assert ring.rgmanagers[0].model_set is None
+        orchestrator.publish_models(make_document(mu=9.0))
+        kernel.run_until(kernel.now + 16 * MINUTE)
+        for rgmanager in ring.rgmanagers:
+            assert rgmanager.model_set is not None
+            assert rgmanager.model_version > first_version
+
+    def test_stop_halts_refresh(self, kernel, ring, orchestrator):
+        orchestrator.start()
+        orchestrator.stop()
+        orchestrator.publish_models(make_document())
+        kernel.run_until(kernel.now + 60 * MINUTE)
+        assert all(r.model_set is None for r in ring.rgmanagers)

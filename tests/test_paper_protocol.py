@@ -1,0 +1,100 @@
+"""Protocol-level assertions from §5.2 on short paper-style runs.
+
+These verify the experimental *protocol* the paper relies on, using
+scaled-down runs of the real scenario builder:
+
+* the initial population is identical in each experiment;
+* the Population Manager's request sequence is identical across
+  densities (single seed);
+* the PLB seed is the only intentionally varying source of randomness.
+"""
+
+import pytest
+
+from repro.core.runner import BenchmarkRunner, run_scenario
+from repro.experiments.scenarios import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def short_runs():
+    """Two density levels, 6 hours each, shared training artifacts."""
+    runners = {}
+    for density in (1.0, 1.4):
+        runner = BenchmarkRunner(paper_scenario(density=density,
+                                                days=0.25,
+                                                maintenance=False))
+        runner.run()
+        runners[density] = runner
+    return runners
+
+
+class TestBootstrapIdentical:
+    def test_same_population_counts(self, short_runs):
+        frames = {density: runner.collector.frames[0]
+                  for density, runner in short_runs.items()}
+        assert frames[1.0].active_gp == frames[1.4].active_gp == 187
+        assert frames[1.0].active_bc == frames[1.4].active_bc == 33
+
+    def test_same_reserved_cores_at_start(self, short_runs):
+        cores = {density: runner.collector.frames[0].reserved_cores
+                 for density, runner in short_runs.items()}
+        assert cores[1.0] == cores[1.4]
+
+    def test_same_disk_at_start(self, short_runs):
+        disk = {density: runner.collector.frames[0].disk_gb
+                for density, runner in short_runs.items()}
+        assert disk[1.0] == pytest.approx(disk[1.4])
+
+    def test_free_cores_scale_with_density(self, short_runs):
+        free = {density: runner._bootstrap_free_cores
+                for density, runner in short_runs.items()}
+        # +40% density on a 14 x 72-core ring frees ~403 more cores.
+        assert free[1.4] - free[1.0] == pytest.approx(0.4 * 14 * 72,
+                                                      abs=1.0)
+
+
+class TestChurnIdentical:
+    def test_request_logs_identical(self, short_runs):
+        logs = [runner.population_manager.request_log
+                for runner in short_runs.values()]
+        assert logs[0] == logs[1]
+        assert logs[0], "expected requests within 6 hours"
+
+    def test_admission_outcomes_may_differ(self, short_runs):
+        """Only outcomes (not requests) may differ across densities."""
+        admitted = {density: runner.population_manager.stats.creates_admitted
+                    for density, runner in short_runs.items()}
+        requested = {density: runner.population_manager.stats
+                     .creates_requested
+                     for density, runner in short_runs.items()}
+        assert requested[1.0] == requested[1.4]
+        assert admitted[1.0] <= admitted[1.4] or True  # no crash; log parity
+        # is the real §5.2 guarantee asserted above.
+
+
+class TestPlbSeedIsolation:
+    def test_plb_salt_preserves_request_log(self):
+        logs = []
+        for salt in (0, 1):
+            runner = BenchmarkRunner(paper_scenario(density=1.1,
+                                                    days=0.2,
+                                                    plb_salt=salt,
+                                                    maintenance=False))
+            runner.run()
+            logs.append(runner.population_manager.request_log)
+        assert logs[0] == logs[1]
+
+    def test_plb_salt_changes_placements(self):
+        placements = []
+        for salt in (0, 1):
+            runner = BenchmarkRunner(paper_scenario(density=1.1,
+                                                    days=0.1,
+                                                    plb_salt=salt,
+                                                    maintenance=False))
+            runner.run()
+            placements.append(tuple(
+                replica.node_id
+                for replica in runner.ring.cluster.replicas()))
+        # Identical population, different annealing randomness: the
+        # replica-to-node assignment differs somewhere.
+        assert placements[0] != placements[1]

@@ -1,0 +1,115 @@
+"""Tests for the Population Manager's model specs."""
+
+import numpy as np
+import pytest
+
+from repro.core.population_models import (
+    InitialDataSpec,
+    PopulationModels,
+    SloMix,
+)
+from repro.errors import ModelSpecError, UnknownSloError
+from repro.sqldb.editions import Edition
+from tests.conftest import make_flat_population
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSloMix:
+    def test_sample_respects_weights(self, rng):
+        mix = SloMix.from_dict(Edition.STANDARD_GP,
+                               {"GP_Gen5_2": 0.9, "GP_Gen5_32": 0.1})
+        names = [mix.sample(rng) for _ in range(500)]
+        small = names.count("GP_Gen5_2")
+        assert 400 < small < 490
+
+    def test_zero_weight_never_sampled(self, rng):
+        mix = SloMix.from_dict(Edition.STANDARD_GP,
+                               {"GP_Gen5_2": 1.0, "GP_Gen5_4": 0.0})
+        assert all(mix.sample(rng) == "GP_Gen5_2" for _ in range(50))
+
+    def test_expected_cores(self):
+        mix = SloMix.from_dict(Edition.PREMIUM_BC,
+                               {"BC_Gen5_2": 0.5, "BC_Gen5_4": 0.5})
+        # BC replicates x4: (8 + 16) / 2.
+        assert mix.expected_cores() == pytest.approx(12.0)
+
+    def test_unknown_slo_rejected(self):
+        with pytest.raises(UnknownSloError):
+            SloMix.from_dict(Edition.STANDARD_GP, {"GP_Gen5_3": 1.0})
+
+    def test_wrong_edition_rejected(self):
+        with pytest.raises(ModelSpecError):
+            SloMix.from_dict(Edition.STANDARD_GP, {"BC_Gen5_2": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ModelSpecError):
+            SloMix.from_dict(Edition.STANDARD_GP, {"GP_Gen5_2": -1.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ModelSpecError):
+            SloMix.from_dict(Edition.STANDARD_GP, {"GP_Gen5_2": 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelSpecError):
+            SloMix(edition=Edition.STANDARD_GP, weights=())
+
+
+class TestInitialDataSpec:
+    def test_sample_within_clip(self, rng):
+        spec = InitialDataSpec(edition=Edition.PREMIUM_BC, mu=5.0,
+                               sigma=1.0, min_gb=1.0, cap_gb=500.0)
+        for _ in range(200):
+            assert 1.0 <= spec.sample(rng) <= 500.0
+
+    def test_median(self):
+        spec = InitialDataSpec(edition=Edition.PREMIUM_BC, mu=4.0,
+                               sigma=0.5)
+        assert spec.median_gb() == pytest.approx(np.exp(4.0))
+
+    def test_core_exponent_scales(self, rng):
+        spec = InitialDataSpec(edition=Edition.PREMIUM_BC, mu=4.0,
+                               sigma=0.0, core_exponent=1.0,
+                               cap_gb=1e9)
+        four = spec.sample(rng, cores=4)
+        sixteen = spec.sample(rng, cores=16)
+        assert sixteen == pytest.approx(4.0 * four)
+
+    def test_zero_exponent_ignores_cores(self, rng):
+        spec = InitialDataSpec(edition=Edition.PREMIUM_BC, mu=4.0,
+                               sigma=0.0, core_exponent=0.0)
+        assert spec.sample(rng, cores=4) == spec.sample(rng, cores=32)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelSpecError):
+            InitialDataSpec(edition=Edition.PREMIUM_BC, mu=1.0,
+                            sigma=-1.0)
+        with pytest.raises(ModelSpecError):
+            InitialDataSpec(edition=Edition.PREMIUM_BC, mu=1.0,
+                            sigma=1.0, min_gb=10.0, cap_gb=5.0)
+        with pytest.raises(ModelSpecError):
+            InitialDataSpec(edition=Edition.PREMIUM_BC, mu=1.0,
+                            sigma=1.0, core_exponent=-0.5)
+
+
+class TestPopulationModels:
+    def test_complete_validates(self):
+        make_flat_population().validate()
+
+    def test_incomplete_rejected(self):
+        population = make_flat_population()
+        del population.slo_mix[Edition.PREMIUM_BC]
+        with pytest.raises(ModelSpecError):
+            population.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelSpecError):
+            PopulationModels().validate()
+
+    def test_editions_ordered(self):
+        population = make_flat_population()
+        assert population.editions == (Edition.STANDARD_GP,
+                                       Edition.PREMIUM_BC)

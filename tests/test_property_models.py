@@ -1,0 +1,129 @@
+"""Property-based tests for the behaviour models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.create_drop import CreateDropModel
+from repro.core.disk_models import DiskUsageModel
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.core.model_base import ModelContext
+from repro.core.selectors import ALL_PREMIUM_BC, DatabaseSelector
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import Edition
+from repro.sqldb.slo import SLO_CATALOG, get_slo
+from repro.units import DELTA_DISK_PERIOD
+
+
+def make_db(slo="BC_Gen5_4"):
+    return DatabaseInstance(db_id="db-p", slo=get_slo(slo), created_at=0,
+                            initial_data_gb=50.0)
+
+
+class TestCreateDropSampling:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+           st.integers(min_value=0, max_value=2 ** 31))
+    def test_sample_mean_tracks_mu(self, mu, sigma, seed):
+        model = CreateDropModel(
+            edition=Edition.STANDARD_GP,
+            creates=HourlyNormalSchedule.constant(mu, sigma),
+            drops=HourlyNormalSchedule.constant(mu, sigma))
+        rng = np.random.default_rng(seed)
+        samples = [model.sample_creates(DayType.WEEKDAY, 12, rng)
+                   for _ in range(400)]
+        # Rounding contributes up to 0.5 absolute error; sampling error
+        # of the mean is sigma / sqrt(400); truncation at zero adds a
+        # positive bias bounded by sigma.
+        tolerance = 0.5 + sigma / 20.0 * 4.0 + sigma
+        assert abs(np.mean(samples) - mu) <= tolerance
+        assert min(samples) >= 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=50))
+    def test_ring_scaling_preserves_shape(self, ring_count):
+        creates = HourlyNormalSchedule.constant(30.0, 5.0)
+        creates.set(DayType.WEEKDAY, 13, 90.0, 10.0)
+        model = CreateDropModel(edition=Edition.PREMIUM_BC,
+                                creates=creates,
+                                drops=HourlyNormalSchedule.constant(10, 1))
+        scaled = model.scaled_to_ring(ring_count)
+        peak = scaled.expected_creates(DayType.WEEKDAY, 13)
+        base = scaled.expected_creates(DayType.WEEKDAY, 0)
+        assert peak / base == pytest.approx(3.0)  # shape invariant
+
+
+class TestDiskModelBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=4000.0, allow_nan=False),
+           st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+           st.integers(min_value=0, max_value=2 ** 31))
+    def test_next_value_within_floor_and_cap(self, prev, mu, sigma, seed):
+        model = DiskUsageModel(
+            selector=ALL_PREMIUM_BC,
+            steady=HourlyNormalSchedule.constant(mu, sigma),
+            floor_gb=1.0, rate_heterogeneity=0.5)
+        db = make_db("BC_Gen5_4")
+        value = model.next_value(ModelContext(
+            now=7200, interval_seconds=DELTA_DISK_PERIOD, database=db,
+            is_primary=True, previous_value=prev,
+            rng=np.random.default_rng(seed)))
+        assert 1.0 <= value <= db.slo.max_data_gb
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="abcdef0123456789-", min_size=1,
+                   max_size=20))
+    def test_rate_factor_positive_and_stable(self, db_id):
+        model = DiskUsageModel(selector=ALL_PREMIUM_BC,
+                               steady=HourlyNormalSchedule.constant(0, 0),
+                               rate_heterogeneity=0.8)
+        factor = model.rate_factor(db_id)
+        assert factor > 0
+        assert model.rate_factor(db_id) == factor
+
+
+@st.composite
+def selectors(draw):
+    slo_names = None
+    if draw(st.booleans()):
+        slo_names = frozenset(draw(st.sets(
+            st.sampled_from(sorted(SLO_CATALOG)), min_size=1,
+            max_size=4)))
+    db_ids = None
+    if draw(st.booleans()):
+        db_ids = frozenset(draw(st.sets(
+            st.text(alphabet="abc123-", min_size=1, max_size=8),
+            min_size=1, max_size=3)))
+    cores = sorted(draw(st.lists(
+        st.sampled_from([None, 2, 4, 8, 16, 32]), min_size=2,
+        max_size=2)), key=lambda x: (x is None, x))
+    min_cores = cores[0] if cores[0] is not None else None
+    max_cores = cores[1] if cores[1] is not None else None
+    if min_cores is not None and max_cores is not None \
+            and min_cores > max_cores:
+        min_cores, max_cores = max_cores, min_cores
+    return DatabaseSelector(
+        edition=draw(st.sampled_from([None, Edition.STANDARD_GP,
+                                      Edition.PREMIUM_BC])),
+        slo_names=slo_names, db_ids=db_ids,
+        min_cores=min_cores, max_cores=max_cores)
+
+
+class TestSelectorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(selectors())
+    def test_attribute_roundtrip(self, selector):
+        restored = DatabaseSelector.from_attributes(
+            selector.to_attributes())
+        assert restored == selector
+
+    @settings(max_examples=50, deadline=None)
+    @given(selectors(), st.sampled_from(sorted(SLO_CATALOG)))
+    def test_roundtrip_preserves_matching(self, selector, slo_name):
+        db = DatabaseInstance(db_id="db-1", slo=get_slo(slo_name),
+                              created_at=0, initial_data_gb=1.0)
+        restored = DatabaseSelector.from_attributes(
+            selector.to_attributes())
+        assert restored.matches(db) == selector.matches(db)

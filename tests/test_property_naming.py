@@ -1,0 +1,62 @@
+"""Property-based model check: NamingService vs a plain dict.
+
+The Naming Service must behave observationally like a dictionary with
+a version counter — this stateful property test drives random
+operation sequences against both and compares.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NamingServiceError
+from repro.fabric.naming import NamingService
+
+KEYS = st.sampled_from(["a", "b", "toto/models/xml", "toto/load/db-1"])
+OPS = st.lists(
+    st.tuples(st.sampled_from(["put", "get", "delete", "exists"]),
+              KEYS,
+              st.integers(min_value=0, max_value=99)),
+    min_size=1, max_size=60)
+
+
+class TestNamingModel:
+    @settings(max_examples=60, deadline=None)
+    @given(OPS)
+    def test_behaves_like_dict_with_versions(self, operations):
+        naming = NamingService()
+        model = {}
+        versions = {}
+        for op, key, value in operations:
+            if op == "put":
+                version = naming.put(key, value)
+                model[key] = value
+                versions[key] = versions.get(key, 0) + 1
+                assert version == versions[key]
+            elif op == "get":
+                if key in model:
+                    assert naming.get(key) == model[key]
+                else:
+                    try:
+                        naming.get(key)
+                        assert False, "expected NamingServiceError"
+                    except NamingServiceError:
+                        pass
+                assert naming.get_or_default(key, -1) == \
+                    model.get(key, -1)
+            elif op == "delete":
+                existed = naming.delete_if_exists(key)
+                assert existed == (key in model)
+                model.pop(key, None)
+            elif op == "exists":
+                assert naming.exists(key) == (key in model)
+        assert sorted(naming.keys()) == sorted(model)
+        assert len(naming) == len(model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(KEYS, min_size=1, max_size=30))
+    def test_prefix_scan_consistent(self, keys):
+        naming = NamingService()
+        for key in keys:
+            naming.put(key, 1)
+        for prefix in ("", "toto/", "toto/load/"):
+            expected = sorted({k for k in keys if k.startswith(prefix)})
+            assert naming.keys(prefix) == expected

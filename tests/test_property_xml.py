@@ -1,0 +1,130 @@
+"""Property-based round-trip tests for the model XML layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.disk_models import (
+    DiskUsageModel,
+    InitialGrowthSpec,
+    RapidGrowthSpec,
+)
+from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.core.model_base import BinnedUniform
+from repro.core.model_xml import (
+    TotoModelDocument,
+    parse_model_xml,
+    serialize_model_xml,
+)
+from repro.core.selectors import DatabaseSelector
+from repro.sqldb.editions import Edition
+
+param_floats = st.floats(min_value=-1000.0, max_value=1000.0,
+                         allow_nan=False, allow_infinity=False)
+sigma_floats = st.floats(min_value=0.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+durations = st.integers(min_value=60, max_value=100_000)
+
+
+@st.composite
+def schedules(draw):
+    schedule = HourlyNormalSchedule()
+    for daytype in DayType:
+        for hour in range(24):
+            schedule.set(daytype, hour, draw(param_floats),
+                         draw(sigma_floats))
+    return schedule
+
+
+@st.composite
+def binned(draw):
+    edges = sorted(draw(st.lists(param_floats, min_size=2, max_size=6)))
+    bins = tuple((edges[i], edges[i + 1]) for i in range(len(edges) - 1))
+    if not bins:
+        bins = ((0.0, 1.0),)
+    return BinnedUniform(bins=bins)
+
+
+@st.composite
+def disk_models(draw):
+    initial = None
+    if draw(st.booleans()):
+        initial = InitialGrowthSpec(probability=draw(probability),
+                                    totals=draw(binned()),
+                                    duration_seconds=draw(durations))
+    rapid = None
+    if draw(st.booleans()):
+        rapid = RapidGrowthSpec(
+            probability=draw(probability),
+            steady_duration=draw(durations),
+            increase_duration=draw(durations),
+            between_duration=draw(durations),
+            decrease_duration=draw(durations),
+            increase_totals=draw(binned()),
+            decrease_totals=draw(binned()))
+    edition = draw(st.sampled_from([None, Edition.STANDARD_GP,
+                                    Edition.PREMIUM_BC]))
+    return DiskUsageModel(
+        selector=DatabaseSelector(edition=edition),
+        steady=draw(schedules()),
+        initial_growth=initial,
+        rapid_growth=rapid,
+        persisted=draw(st.booleans()),
+        floor_gb=draw(st.floats(min_value=0.01, max_value=10.0,
+                                allow_nan=False)),
+        rate_heterogeneity=draw(st.floats(min_value=0.0, max_value=2.0,
+                                          allow_nan=False)))
+
+
+class TestXmlRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(disk_models())
+    def test_disk_model_roundtrip_exact(self, model):
+        document = TotoModelDocument(resource_models=[model])
+        restored = parse_model_xml(serialize_model_xml(document))
+        parsed = restored.resource_models[0]
+        assert parsed.persisted == model.persisted
+        assert parsed.floor_gb == model.floor_gb
+        assert parsed.rate_heterogeneity == model.rate_heterogeneity
+        assert parsed.selector == model.selector
+        assert parsed.steady == model.steady
+        if model.initial_growth is None:
+            assert parsed.initial_growth is None
+        else:
+            assert parsed.initial_growth.probability == \
+                model.initial_growth.probability
+            assert parsed.initial_growth.totals.bins == \
+                model.initial_growth.totals.bins
+        if model.rapid_growth is None:
+            assert parsed.rapid_growth is None
+        else:
+            assert parsed.rapid_growth.cycle_seconds == \
+                model.rapid_growth.cycle_seconds
+            assert parsed.rapid_growth.increase_totals.bins == \
+                model.rapid_growth.increase_totals.bins
+
+    @settings(max_examples=10, deadline=None)
+    @given(disk_models(), st.integers(min_value=0, max_value=2 ** 31))
+    def test_roundtrip_preserves_sampling(self, model, seed):
+        """Serialization must be behaviour-preserving, not just
+        field-preserving."""
+        from repro.core.model_base import ModelContext
+        from repro.sqldb.database import DatabaseInstance
+        from repro.sqldb.slo import get_slo
+
+        document = TotoModelDocument(resource_models=[model])
+        parsed = parse_model_xml(
+            serialize_model_xml(document)).resource_models[0]
+        slo = "BC_Gen5_4" if model.selector.edition is not \
+            Edition.STANDARD_GP else "GP_Gen5_4"
+        db = DatabaseInstance(db_id="db-x", slo=get_slo(slo),
+                              created_at=0, initial_data_gb=10.0,
+                              rapid_growth=True)
+
+        def sample(candidate):
+            return candidate.next_value(ModelContext(
+                now=3600, interval_seconds=300, database=db,
+                is_primary=True, previous_value=50.0,
+                rng=np.random.default_rng(seed)))
+
+        assert sample(model) == sample(parsed)

@@ -1,0 +1,120 @@
+"""Tests for the multi-ring region routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownDatabaseError
+from repro.sqldb.region import Region
+from repro.sqldb.tenant_ring import TenantRingConfig
+from tests.conftest import SMALL_CAPACITIES
+
+
+@pytest.fixture
+def region(kernel, rng_registry):
+    config = TenantRingConfig(node_count=4,
+                              base_capacities=SMALL_CAPACITIES)
+    return Region(kernel, ring_count=4, config=config,
+                  rng_registry=rng_registry)
+
+
+class TestRouting:
+    def test_create_lands_somewhere(self, region):
+        outcome = region.create_database("GP_Gen5_2", now=0,
+                                         initial_data_gb=10.0)
+        assert outcome.admitted
+        assert outcome.placed_ring is not None
+        assert region.active_count() == 1
+
+    def test_selection_roughly_uniform(self, region):
+        for _ in range(120):
+            region.create_database("GP_Gen5_2", now=0,
+                                   initial_data_gb=5.0)
+        populations = region.ring_populations()
+        assert sum(populations) == 120
+        # Uniform choice over 4 rings: each should get 30 +/- slack.
+        assert min(populations) > 12
+        assert max(populations) < 55
+
+    def test_redirect_to_next_ring(self, kernel, rng_registry):
+        config = TenantRingConfig(node_count=1,
+                                  base_capacities=SMALL_CAPACITIES)
+        region = Region(kernel, ring_count=3, config=config,
+                        rng_registry=rng_registry)
+        # Fill every ring except one with a 32-core database.
+        outcomes = [region.create_database("GP_Gen5_32", now=0,
+                                           initial_data_gb=5.0)
+                    for _ in range(3)]
+        assert all(outcome.admitted for outcome in outcomes)
+        # A fourth big create fails region-wide.
+        final = region.create_database("GP_Gen5_32", now=0,
+                                       initial_data_gb=5.0)
+        assert not final.admitted
+        assert final.redirects == 3
+        assert region.creates_rejected_region_wide == 1
+
+    def test_cross_ring_redirect_counted(self, kernel, rng_registry):
+        config = TenantRingConfig(node_count=1,
+                                  base_capacities=SMALL_CAPACITIES)
+        region = Region(kernel, ring_count=2, config=config,
+                        rng_registry=rng_registry)
+        # Saturate both rings partially so at least one create must hop.
+        hops_before = region.cross_ring_redirects
+        admitted = 0
+        while admitted < 2:
+            outcome = region.create_database("GP_Gen5_32", now=0,
+                                             initial_data_gb=5.0)
+            if outcome.admitted:
+                admitted += 1
+        # Two 32-core DBs over two 32-core rings: the second create hops
+        # whenever the uniform choice repeats the first ring.
+        assert region.cross_ring_redirects >= hops_before
+
+    def test_ring_redirect_records_kept_per_ring(self, kernel,
+                                                 rng_registry):
+        config = TenantRingConfig(node_count=1,
+                                  base_capacities=SMALL_CAPACITIES)
+        region = Region(kernel, ring_count=2, config=config,
+                        rng_registry=rng_registry)
+        for _ in range(2):
+            region.create_database("GP_Gen5_32", now=0,
+                                   initial_data_gb=5.0)
+        region.create_database("GP_Gen5_32", now=0, initial_data_gb=5.0)
+        assert sum(region.redirect_counts()) >= 2
+
+
+class TestLifecycle:
+    def test_drop_finds_the_hosting_ring(self, region):
+        outcome = region.create_database("BC_Gen5_2", now=0,
+                                         initial_data_gb=20.0)
+        db_id = outcome.database.db_id
+        region.drop_database(db_id, now=100)
+        assert region.active_count() == 0
+
+    def test_drop_unknown_raises(self, region):
+        with pytest.raises(UnknownDatabaseError):
+            region.drop_database("db-xyz", now=0)
+
+    def test_find_ring(self, region):
+        outcome = region.create_database("GP_Gen5_2", now=0,
+                                         initial_data_gb=5.0)
+        ring = region.find_ring(outcome.database.db_id)
+        assert ring is region.rings[outcome.placed_ring]
+        assert region.find_ring("nope") is None
+
+    def test_aggregates(self, region):
+        region.create_database("BC_Gen5_2", now=0, initial_data_gb=25.0)
+        assert region.reserved_cores() == 8.0
+        assert region.disk_usage_gb() == pytest.approx(100.0)
+
+    def test_ring_count_validation(self, kernel, rng_registry):
+        config = TenantRingConfig(node_count=1,
+                                  base_capacities=SMALL_CAPACITIES)
+        with pytest.raises(ValueError):
+            Region(kernel, ring_count=0, config=config,
+                   rng_registry=rng_registry)
+
+    def test_start_stop(self, region, kernel):
+        region.start()
+        kernel.run_until(600)
+        assert all(ring.report_sweeps > 0 for ring in region.rings)
+        region.stop()

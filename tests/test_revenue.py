@@ -1,0 +1,159 @@
+"""Tests for the modeled adjusted revenue (§5.1)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fabric.naming import NamingService
+from repro.revenue.adjusted import adjusted_revenue_report, database_revenue
+from repro.revenue.pricing import STANDARD_PRICES, PriceCatalog
+from repro.revenue.sla import DEFAULT_CREDITS, ServiceCreditSchedule
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import Edition
+from repro.sqldb.rgmanager import persisted_load_key
+from repro.sqldb.slo import get_slo
+from repro.units import DAY, HOUR
+
+
+def make_db(slo="GP_Gen5_4", created_at=0, data=100.0, db_id="db-1"):
+    return DatabaseInstance(db_id=db_id, slo=get_slo(slo),
+                            created_at=created_at, initial_data_gb=data)
+
+
+class TestPricing:
+    def test_bc_compute_costs_more_per_core(self):
+        gp = STANDARD_PRICES.compute_hourly(get_slo("GP_Gen5_4"))
+        bc = STANDARD_PRICES.compute_hourly(get_slo("BC_Gen5_4"))
+        assert bc > gp
+
+    def test_compute_scales_with_cores(self):
+        small = STANDARD_PRICES.compute_hourly(get_slo("GP_Gen5_2"))
+        large = STANDARD_PRICES.compute_hourly(get_slo("GP_Gen5_16"))
+        assert large == pytest.approx(8 * small)
+
+    def test_storage_hourly_conversion(self):
+        hourly = STANDARD_PRICES.storage_hourly_per_gb(Edition.STANDARD_GP)
+        assert hourly == pytest.approx(0.115 / 730.5)
+
+    def test_incomplete_catalog_rejected(self):
+        with pytest.raises(ReproError):
+            PriceCatalog(compute_per_core_hour={},
+                         storage_per_gb_month={})
+
+
+class TestSla:
+    def test_no_credit_at_full_uptime(self):
+        assert DEFAULT_CREDITS.credit_fraction(1.0) == 0.0
+
+    def test_ten_percent_tier(self):
+        assert DEFAULT_CREDITS.credit_fraction(0.9995) == 0.10
+
+    def test_twenty_five_percent_tier(self):
+        assert DEFAULT_CREDITS.credit_fraction(0.985) == 0.25
+
+    def test_full_refund_tier(self):
+        assert DEFAULT_CREDITS.credit_fraction(0.90) == 1.00
+
+    def test_boundary_exactly_at_target(self):
+        assert DEFAULT_CREDITS.credit_fraction(0.9999) == 0.0
+
+    def test_invalid_uptime_rejected(self):
+        with pytest.raises(ReproError):
+            DEFAULT_CREDITS.credit_fraction(1.5)
+
+    def test_bad_tier_order_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceCreditSchedule(tiers=((0.99, 0.25), (0.95, 1.0)))
+
+
+class TestDatabaseRevenue:
+    def test_compute_revenue(self):
+        db = make_db("GP_Gen5_4")
+        revenue = database_revenue(db, now=10 * HOUR)
+        expected = 4 * 0.2529 * 10
+        assert revenue.compute_revenue == pytest.approx(expected)
+
+    def test_storage_revenue(self):
+        db = make_db("GP_Gen5_4", data=200.0)
+        revenue = database_revenue(db, now=730 * HOUR + 30 * 60)
+        # ~one month of 200 GB at $0.115/GB-month
+        assert revenue.storage_revenue == pytest.approx(23.0, rel=0.01)
+
+    def test_dropped_database_stops_earning(self):
+        db = make_db()
+        db.mark_dropped(5 * HOUR)
+        revenue = database_revenue(db, now=100 * HOUR)
+        assert revenue.lifetime_hours == 5.0
+
+    def test_no_penalty_below_threshold(self):
+        db = make_db()
+        db.record_downtime(10.0)   # 10s over 6 days << 0.01%
+        revenue = database_revenue(db, now=6 * DAY)
+        assert revenue.penalty == 0.0
+        assert not revenue.penalized
+
+    def test_penalty_when_downtime_exceeds_threshold(self):
+        db = make_db()
+        db.record_downtime(60.0)   # > 51.8s = 0.01% of 6 days
+        revenue = database_revenue(db, now=6 * DAY)
+        # Credits are 10% of the *monthly* bill (public SLA semantics):
+        # on a 6-day lifetime that is 10% x (730.5h / 144h) of gross.
+        expected = 0.10 * revenue.gross * (730.5 / 144.0)
+        assert revenue.penalty == pytest.approx(expected)
+        assert revenue.adjusted == pytest.approx(revenue.gross - expected)
+
+    def test_heavy_downtime_bigger_tier_capped_at_gross(self):
+        db = make_db()
+        db.record_downtime(0.02 * 6 * DAY)  # 2% downtime -> uptime 98%
+        revenue = database_revenue(db, now=6 * DAY)
+        # 25% of a monthly bill exceeds 6 days of accrued revenue, so
+        # the penalty caps at gross (the database nets zero).
+        assert revenue.penalty == pytest.approx(revenue.gross)
+        assert revenue.adjusted == pytest.approx(0.0)
+
+    def test_long_lifetime_uncapped_tier(self):
+        db = make_db()
+        db.record_downtime(0.0005 * 60 * DAY)  # uptime 99.95% over 60d
+        revenue = database_revenue(db, now=60 * DAY)
+        expected = 0.10 * revenue.gross * (730.5 / (60 * 24))
+        assert revenue.penalty == pytest.approx(expected)
+        assert revenue.penalty < revenue.gross
+
+    def test_bc_storage_billed_from_persisted_disk(self):
+        naming = NamingService()
+        db = make_db("BC_Gen5_4", data=100.0)
+        naming.put(persisted_load_key(db.db_id, "disk-gb"), 400.0)
+        with_persisted = database_revenue(db, now=DAY, naming=naming)
+        without = database_revenue(db, now=DAY)
+        # 400 GB persisted vs the 100 GB creation-time fallback.
+        assert with_persisted.storage_revenue == pytest.approx(
+            4.0 * without.storage_revenue)
+
+
+class TestReport:
+    def test_aggregates(self):
+        databases = [make_db(db_id=f"db-{i}") for i in range(3)]
+        databases[0].record_downtime(120.0)
+        report = adjusted_revenue_report(databases, now=6 * DAY)
+        assert report.penalized_databases == 1
+        assert report.total_adjusted == pytest.approx(
+            report.total_gross - report.total_penalty)
+
+    def test_edition_split(self):
+        databases = [make_db("GP_Gen5_2", db_id="gp"),
+                     make_db("BC_Gen5_2", db_id="bc")]
+        report = adjusted_revenue_report(databases, now=DAY)
+        assert report.gp_adjusted > 0
+        assert report.bc_adjusted > 0
+        assert report.gp_adjusted + report.bc_adjusted == pytest.approx(
+            report.total_adjusted)
+
+    def test_penalty_share(self):
+        db = make_db()
+        db.record_downtime(3600.0)
+        report = adjusted_revenue_report([db], now=DAY)
+        assert 0 < report.penalty_share <= 1.0
+
+    def test_empty_population(self):
+        report = adjusted_revenue_report([], now=DAY)
+        assert report.total_adjusted == 0.0
+        assert report.penalty_share == 0.0

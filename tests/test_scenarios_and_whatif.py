@@ -1,0 +1,88 @@
+"""Tests for the canonical paper scenarios and the what-if tooling."""
+
+import pytest
+
+from repro.core.disk_models import DiskUsageModel
+from repro.core.hourly_schedule import DayType
+from repro.experiments.scenarios import paper_scenario, trained_artifacts
+from repro.sqldb.editions import Edition
+
+
+class TestTrainedArtifacts:
+    def test_cached_per_parameters(self):
+        a = trained_artifacts()
+        b = trained_artifacts()
+        assert a is b
+
+    def test_different_seed_different_artifacts(self):
+        a = trained_artifacts(training_seed=1, disk_corpus_size=120,
+                              training_days=7)
+        b = trained_artifacts(training_seed=2, disk_corpus_size=120,
+                              training_days=7)
+        assert a is not b
+
+    def test_document_has_both_disk_models(self):
+        document = trained_artifacts().document
+        editions = {model.selector.edition
+                    for model in document.resource_models
+                    if isinstance(model, DiskUsageModel)}
+        assert editions == {Edition.STANDARD_GP, Edition.PREMIUM_BC}
+
+
+class TestPaperScenario:
+    def test_defaults_match_paper_setup(self):
+        scenario = paper_scenario()
+        assert scenario.ring.node_count == 14
+        assert scenario.duration_hours == pytest.approx(144.0)
+        assert scenario.initial_population.gp_count == 187
+        assert scenario.initial_population.bc_count == 33
+
+    def test_density_knob(self):
+        scenario = paper_scenario(density=1.4)
+        assert scenario.ring.density == 1.4
+        assert "140" in scenario.name
+
+    def test_same_document_across_densities(self):
+        a = paper_scenario(density=1.0)
+        b = paper_scenario(density=1.4)
+        assert a.model_document is b.model_document
+        assert a.seed == b.seed
+
+    def test_plb_salt_passthrough(self):
+        assert paper_scenario(plb_salt=2).plb_salt == 2
+
+    def test_maintenance_toggle(self):
+        assert paper_scenario(maintenance=False) \
+            .ring.maintenance_interval_hours == 0.0
+        assert paper_scenario(maintenance=True) \
+            .ring.maintenance_interval_hours > 0.0
+
+
+class TestWhatIfScaling:
+    def test_scale_bc_growth_only_touches_bc(self):
+        import sys
+        sys.path.insert(0, "examples")
+        from whatif_disk_growth import scale_bc_growth
+
+        document = trained_artifacts().document
+        scaled = scale_bc_growth(document, 2.0)
+        original = {model.selector.edition: model
+                    for model in document.resource_models
+                    if isinstance(model, DiskUsageModel)}
+        modified = {model.selector.edition: model
+                    for model in scaled.resource_models
+                    if isinstance(model, DiskUsageModel)}
+
+        bc_before = original[Edition.PREMIUM_BC].steady.params(
+            DayType.WEEKDAY, 13)[0]
+        bc_after = modified[Edition.PREMIUM_BC].steady.params(
+            DayType.WEEKDAY, 13)[0]
+        assert bc_after == pytest.approx(2.0 * bc_before)
+
+        gp_before = original[Edition.STANDARD_GP].steady.params(
+            DayType.WEEKDAY, 13)[0]
+        gp_after = modified[Edition.STANDARD_GP].steady.params(
+            DayType.WEEKDAY, 13)[0]
+        assert gp_after == gp_before
+        # Population models carried over untouched.
+        assert scaled.population is document.population

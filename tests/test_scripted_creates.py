@@ -1,0 +1,69 @@
+"""Tests for scripted incident replay (paper use case (c))."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runner import run_scenario
+from repro.core.scenario import ScriptedCreate
+from repro.errors import ScenarioError
+from repro.units import HOUR
+from tests.test_runner_integration import small_scenario
+
+
+class TestSpec:
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScriptedCreate(at_offset=-1, slo_name="GP_Gen5_2",
+                           initial_data_gb=10.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScriptedCreate(at_offset=0, slo_name="GP_Gen5_2",
+                           initial_data_gb=-1.0)
+
+
+class TestReplay:
+    def make_scenario(self, tiny_document, scripted, hours=4):
+        base = small_scenario(tiny_document, hours=hours)
+        return dataclasses.replace(base, scripted_creates=tuple(scripted),
+                                   run_population_manager=False)
+
+    def test_scripted_create_lands_at_offset(self, tiny_document):
+        scripted = ScriptedCreate(at_offset=2 * HOUR,
+                                  slo_name="BC_Gen5_2",
+                                  initial_data_gb=30.0,
+                                  high_initial_growth=True,
+                                  initial_growth_total_gb=120.0)
+        result = run_scenario(self.make_scenario(tiny_document, [scripted]))
+        databases = [db for db in result.databases
+                     if db.high_initial_growth]
+        assert len(databases) == 1
+        db = databases[0]
+        assert db.slo.name == "BC_Gen5_2"
+        assert db.initial_growth_total_gb == 120.0
+        # Created exactly at settle + 2h.
+        assert db.created_at == result.frames[0].time + 2 * HOUR
+
+    def test_incident_grows_cluster_disk(self, tiny_document):
+        scripted = ScriptedCreate(at_offset=1 * HOUR,
+                                  slo_name="BC_Gen5_2",
+                                  initial_data_gb=20.0,
+                                  high_initial_growth=True,
+                                  initial_growth_total_gb=200.0)
+        with_incident = run_scenario(
+            self.make_scenario(tiny_document, [scripted]))
+        without = run_scenario(self.make_scenario(tiny_document, []))
+        gap = (with_incident.kpis.final_disk_gb
+               - without.kpis.final_disk_gb)
+        # ~200 GB growth x 4 replicas, plus the initial 20 x 4.
+        assert gap > 500.0
+
+    def test_redirected_incident_recorded(self, tiny_document):
+        # A 32-core BC (128 cores) cannot fit the 6x32-core test ring
+        # after bootstrap.
+        scripted = ScriptedCreate(at_offset=HOUR, slo_name="BC_Gen5_32",
+                                  initial_data_gb=100.0)
+        result = run_scenario(self.make_scenario(tiny_document, [scripted]))
+        assert result.kpis.creation_redirects == 1
+        assert result.redirects[0].slo_name == "BC_Gen5_32"

@@ -1,0 +1,83 @@
+"""Tests for the configuration-change sweep (use case (a))."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    ConfigSweep,
+    Variant,
+    with_density,
+    with_greedy_placement,
+    with_report_interval,
+)
+from tests.test_runner_integration import small_scenario
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_document):
+    return small_scenario(tiny_document, hours=4)
+
+
+class TestTransforms:
+    def test_report_interval(self, baseline):
+        variant = with_report_interval(900)
+        scenario = variant.transform(baseline)
+        assert scenario.ring.report_interval == 900
+        assert variant.label == "report-15min"
+
+    def test_density(self, baseline):
+        variant = with_density(1.3)
+        assert variant.transform(baseline).ring.density == 1.3
+        assert variant.label == "density-130"
+
+    def test_greedy(self, baseline):
+        assert with_greedy_placement().transform(baseline) \
+            .ring.use_annealing is False
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, baseline):
+        sweep = ConfigSweep(baseline, [with_report_interval(900),
+                                       with_density(1.2)])
+        sweep.run()
+        return sweep
+
+    def test_baseline_plus_variants(self, sweep):
+        outcomes = sweep.run()
+        assert [o.label for o in outcomes] == [
+            "baseline", "report-15min", "density-120"]
+
+    def test_results_cached(self, sweep):
+        assert sweep.run() is not sweep.run()  # list copies...
+        assert sweep.run()[0].result is sweep.run()[0].result  # same runs
+
+    def test_outcome_lookup(self, sweep):
+        assert sweep.outcome("density-120").result.scenario.ring \
+            .density == 1.2
+        with pytest.raises(KeyError):
+            sweep.outcome("nope")
+
+    def test_variant_runs_differ_from_baseline(self, sweep):
+        base = sweep.outcome("baseline").result
+        denser = sweep.outcome("density-120").result
+        assert denser.scenario.ring.density > base.scenario.ring.density
+
+    def test_delta_rows_shape(self, sweep):
+        rows = sweep.delta_rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "baseline"
+        assert rows[0][-1] == "+0"  # baseline deltas are zero
+
+    def test_report_renders(self, sweep):
+        text = sweep.format_report()
+        assert "Config sweep" in text
+        assert "report-15min" in text
+
+    def test_duplicate_labels_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            ConfigSweep(baseline, [with_density(1.2), with_density(1.2)])
+
+    def test_reserved_label_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            ConfigSweep(baseline,
+                        [Variant("baseline", lambda s: s)])

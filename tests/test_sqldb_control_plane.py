@@ -1,0 +1,162 @@
+"""Tests for the control plane: admission, redirects, CRUD."""
+
+import pytest
+
+from repro.errors import AdmissionRejected, UnknownDatabaseError
+from repro.sqldb.editions import Edition
+from tests.conftest import make_ring
+
+
+@pytest.fixture
+def ring(kernel, rng_registry):
+    return make_ring(kernel, rng_registry, node_count=4)
+
+
+class TestCreate:
+    def test_create_places_replicas(self, ring):
+        db = ring.control_plane.create_database("BC_Gen5_2", now=0,
+                                                initial_data_gb=40.0)
+        record = ring.cluster.service(db.db_id)
+        assert len(record.replicas) == 4
+        assert ring.cluster.reserved_cores() == 8.0
+
+    def test_db_ids_sequential(self, ring):
+        a = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        b = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        assert a.db_id != b.db_id
+
+    def test_flags_stored(self, ring):
+        db = ring.control_plane.create_database(
+            "BC_Gen5_2", now=0, initial_data_gb=40.0,
+            high_initial_growth=True, initial_growth_total_gb=120.0,
+            rapid_growth=True)
+        assert db.high_initial_growth
+        assert db.initial_growth_total_gb == 120.0
+        assert db.rapid_growth
+
+    def test_creation_listener_fires(self, ring):
+        seen = []
+        ring.control_plane.add_creation_listener(seen.append)
+        db = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        assert seen == [db]
+
+
+class TestRedirects:
+    def test_core_exhaustion_redirects(self, ring):
+        # 4 nodes x 32 cores = 128 total; fill with 30-core... use GP_32.
+        for _ in range(4):
+            ring.control_plane.create_database("GP_Gen5_32", 0, 10.0)
+        with pytest.raises(AdmissionRejected):
+            ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        redirects = ring.control_plane.redirects
+        assert len(redirects) == 1
+        assert redirects[0].reason == "insufficient-cluster-cores"
+
+    def test_placement_infeasible_redirects(self, ring):
+        # Plenty of core budget, but every node's disk is nearly full:
+        # the next big-disk create fails placement, not admission.
+        ring.control_plane.create_database("BC_Gen5_2", 0,
+                                           initial_data_gb=900.0)
+        with pytest.raises(AdmissionRejected):
+            ring.control_plane.create_database("BC_Gen5_2", 0,
+                                               initial_data_gb=500.0)
+        assert ring.control_plane.redirects[-1].reason == \
+            "placement-infeasible"
+
+    def test_redirect_records_request_shape(self, ring):
+        for _ in range(4):
+            ring.control_plane.create_database("GP_Gen5_32", 0, 10.0)
+        with pytest.raises(AdmissionRejected):
+            ring.control_plane.create_database("BC_Gen5_4", 0, 10.0)
+        redirect = ring.control_plane.redirects[-1]
+        assert redirect.requested_cores == 16
+        assert redirect.edition is Edition.PREMIUM_BC
+
+    def test_redirected_db_not_registered(self, ring):
+        for _ in range(4):
+            ring.control_plane.create_database("GP_Gen5_32", 0, 10.0)
+        count_before = len(ring.control_plane.all_databases())
+        with pytest.raises(AdmissionRejected):
+            ring.control_plane.create_database("GP_Gen5_8", 0, 10.0)
+        assert len(ring.control_plane.all_databases()) == count_before
+
+
+class TestDrop:
+    def test_drop_frees_and_marks(self, ring):
+        db = ring.control_plane.create_database("GP_Gen5_4", 0, 10.0)
+        ring.control_plane.drop_database(db.db_id, now=100)
+        assert not db.is_active
+        assert ring.cluster.reserved_cores() == 0.0
+        assert not ring.cluster.has_service(db.db_id)
+
+    def test_drop_unknown_raises(self, ring):
+        with pytest.raises(UnknownDatabaseError):
+            ring.control_plane.drop_database("nope", now=0)
+
+    def test_drop_clears_persisted_loads(self, ring):
+        db = ring.control_plane.create_database("BC_Gen5_2", 0, 40.0)
+        naming = ring.cluster.naming
+        naming.put(f"toto/load/{db.db_id}/disk-gb", 44.0)
+        ring.control_plane.drop_database(db.db_id, now=10)
+        assert not naming.exists(f"toto/load/{db.db_id}/disk-gb")
+
+    def test_drop_listener_receives_replica_ids(self, ring):
+        seen = []
+        ring.control_plane.add_drop_listener(
+            lambda db: seen.extend(db.dropped_replica_ids))
+        db = ring.control_plane.create_database("BC_Gen5_2", 0, 40.0)
+        ring.control_plane.drop_database(db.db_id, now=10)
+        assert len(seen) == 4
+
+    def test_active_filters(self, ring):
+        gp = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        bc = ring.control_plane.create_database("BC_Gen5_2", 0, 40.0)
+        assert ring.control_plane.active_count() == 2
+        assert ring.control_plane.active_count(Edition.PREMIUM_BC) == 1
+        ring.control_plane.drop_database(bc.db_id, now=5)
+        assert ring.control_plane.active_count(Edition.PREMIUM_BC) == 0
+        assert ring.control_plane.active_databases() == [gp]
+
+
+class TestDowntimeAccounting:
+    def test_capacity_failover_books_whole_minutes(self, ring, kernel):
+        from repro.fabric.failover import FailoverRecord, \
+            REASON_CAPACITY_VIOLATION
+        from repro.fabric.replica import ReplicaRole
+        db = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        record = FailoverRecord(
+            time=10, service_id=db.db_id, replica_id=1,
+            role=ReplicaRole.PRIMARY, from_node=0, to_node=1,
+            metric="disk-gb", cores_moved=2.0, disk_moved_gb=8.0,
+            downtime_seconds=42.0, rebuild_seconds=0.0,
+            reason=REASON_CAPACITY_VIOLATION)
+        ring.control_plane._on_failover(record)
+        assert db.downtime_seconds == 60.0
+
+    def test_planned_move_books_actual_seconds(self, ring):
+        from repro.fabric.failover import FailoverRecord, REASON_MAKE_ROOM
+        from repro.fabric.replica import ReplicaRole
+        db = ring.control_plane.create_database("GP_Gen5_2", 0, 10.0)
+        record = FailoverRecord(
+            time=10, service_id=db.db_id, replica_id=1,
+            role=ReplicaRole.PRIMARY, from_node=0, to_node=1,
+            metric="cpu-cores", cores_moved=2.0, disk_moved_gb=8.0,
+            downtime_seconds=3.0, rebuild_seconds=0.0,
+            reason=REASON_MAKE_ROOM)
+        ring.control_plane._on_failover(record)
+        assert db.downtime_seconds == 3.0
+
+    def test_zero_downtime_not_booked(self, ring):
+        from repro.fabric.failover import FailoverRecord, \
+            REASON_CAPACITY_VIOLATION
+        from repro.fabric.replica import ReplicaRole
+        db = ring.control_plane.create_database("BC_Gen5_2", 0, 40.0)
+        record = FailoverRecord(
+            time=10, service_id=db.db_id, replica_id=2,
+            role=ReplicaRole.SECONDARY, from_node=0, to_node=1,
+            metric="disk-gb", cores_moved=2.0, disk_moved_gb=40.0,
+            downtime_seconds=0.0, rebuild_seconds=100.0,
+            reason=REASON_CAPACITY_VIOLATION)
+        ring.control_plane._on_failover(record)
+        assert db.downtime_seconds == 0.0
+        assert db.failover_count == 0

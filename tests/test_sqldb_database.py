@@ -1,0 +1,89 @@
+"""Tests for database instances and lifecycle state."""
+
+import pytest
+
+from repro.errors import SqlDbError
+from repro.sqldb.database import DatabaseInstance
+from repro.sqldb.editions import GP_TEMPDB_BASELINE_GB
+from repro.sqldb.slo import get_slo
+from repro.units import DAY, HOUR
+
+
+def make_db(slo="GP_Gen5_4", created_at=0, data=50.0, **kwargs):
+    return DatabaseInstance(db_id="db-1", slo=get_slo(slo),
+                            created_at=created_at, initial_data_gb=data,
+                            **kwargs)
+
+
+class TestLifecycle:
+    def test_active_until_dropped(self):
+        db = make_db()
+        assert db.is_active
+        db.mark_dropped(HOUR)
+        assert not db.is_active
+        assert db.dropped_at == HOUR
+
+    def test_double_drop_rejected(self):
+        db = make_db()
+        db.mark_dropped(10)
+        with pytest.raises(SqlDbError):
+            db.mark_dropped(20)
+
+    def test_drop_before_creation_rejected(self):
+        db = make_db(created_at=100)
+        with pytest.raises(SqlDbError):
+            db.mark_dropped(50)
+
+    def test_lifetime_while_active(self):
+        db = make_db(created_at=100)
+        assert db.lifetime_seconds(100 + DAY) == DAY
+
+    def test_lifetime_frozen_after_drop(self):
+        db = make_db()
+        db.mark_dropped(HOUR)
+        assert db.lifetime_seconds(DAY) == HOUR
+
+    def test_negative_initial_data_rejected(self):
+        with pytest.raises(SqlDbError):
+            make_db(data=-1.0)
+
+
+class TestDowntime:
+    def test_accumulates(self):
+        db = make_db()
+        db.record_downtime(30.0)
+        db.record_downtime(45.0)
+        assert db.downtime_seconds == 75.0
+        assert db.failover_count == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(SqlDbError):
+            make_db().record_downtime(-1.0)
+
+    def test_downtime_fraction(self):
+        db = make_db()
+        db.record_downtime(60.0)
+        assert db.downtime_fraction(600) == pytest.approx(0.1)
+
+    def test_fraction_zero_lifetime(self):
+        assert make_db().downtime_fraction(0) == 0.0
+
+    def test_sla_threshold_example(self):
+        # 0.01% of a 6-day lifetime is ~51.8 seconds (§5.1).
+        db = make_db()
+        db.record_downtime(60.0)
+        assert db.downtime_fraction(6 * DAY) >= 0.0001
+
+
+class TestLocalDisk:
+    def test_gp_uses_tempdb_baseline(self):
+        db = make_db(slo="GP_Gen5_8", data=500.0)
+        assert db.initial_local_disk_gb() == GP_TEMPDB_BASELINE_GB
+
+    def test_bc_uses_full_data(self):
+        db = make_db(slo="BC_Gen5_8", data=500.0)
+        assert db.initial_local_disk_gb() == 500.0
+
+    def test_edition_passthrough(self):
+        assert make_db(slo="BC_Gen5_2").is_local_store
+        assert not make_db(slo="GP_Gen5_2").is_local_store

@@ -1,0 +1,82 @@
+"""Tests for editions and the SLO catalog."""
+
+import pytest
+
+from repro.errors import UnknownSloError
+from repro.sqldb.editions import (
+    COLD_BUFFER_POOL_GB,
+    Edition,
+    GP_TEMPDB_BASELINE_GB,
+    StorageKind,
+)
+from repro.sqldb.slo import (
+    CORE_SIZES,
+    SLO_CATALOG,
+    get_slo,
+    slo_name,
+    slos_for_edition,
+)
+
+
+class TestEditions:
+    def test_gp_is_remote_store(self):
+        assert Edition.STANDARD_GP.storage is StorageKind.REMOTE
+        assert not Edition.STANDARD_GP.is_local_store
+
+    def test_bc_is_local_store(self):
+        assert Edition.PREMIUM_BC.storage is StorageKind.LOCAL_SSD
+        assert Edition.PREMIUM_BC.is_local_store
+
+    def test_replica_counts(self):
+        # §2: local-store databases are "replicated four times".
+        assert Edition.STANDARD_GP.replica_count == 1
+        assert Edition.PREMIUM_BC.replica_count == 4
+
+    def test_short_names(self):
+        assert Edition.STANDARD_GP.short_name == "GP"
+        assert Edition.PREMIUM_BC.short_name == "BC"
+
+    def test_baselines_positive(self):
+        assert GP_TEMPDB_BASELINE_GB > 0
+        assert COLD_BUFFER_POOL_GB > 0
+
+
+class TestCatalog:
+    def test_both_families_all_sizes(self):
+        assert len(SLO_CATALOG) == 2 * len(CORE_SIZES)
+
+    def test_lookup(self):
+        slo = get_slo("GP_Gen5_4")
+        assert slo.cores == 4
+        assert slo.edition is Edition.STANDARD_GP
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownSloError):
+            get_slo("GP_Gen5_3")
+
+    def test_memory_scales_with_cores(self):
+        small = get_slo("BC_Gen5_2")
+        large = get_slo("BC_Gen5_32")
+        assert large.memory_gb == pytest.approx(16 * small.memory_gb)
+
+    def test_total_reserved_cores(self):
+        # The paper's example: a 24-core BC reserves 96 cluster cores.
+        assert get_slo("BC_Gen5_24").total_reserved_cores == 96
+        assert get_slo("GP_Gen5_24").total_reserved_cores == 24
+
+    def test_slos_for_edition_sorted(self):
+        slos = slos_for_edition(Edition.PREMIUM_BC)
+        assert [slo.cores for slo in slos] == sorted(CORE_SIZES)
+        assert all(slo.edition is Edition.PREMIUM_BC for slo in slos)
+
+    def test_slo_name_roundtrip(self):
+        name = slo_name(Edition.STANDARD_GP, 8)
+        assert get_slo(name).cores == 8
+
+    def test_slo_name_unknown_size(self):
+        with pytest.raises(UnknownSloError):
+            slo_name(Edition.STANDARD_GP, 7)
+
+    def test_max_data_positive(self):
+        for slo in SLO_CATALOG.values():
+            assert slo.max_data_gb > 0

@@ -1,0 +1,96 @@
+"""Tests for box-plot summaries and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.stats.descriptive import (
+    boxplot_stats,
+    relative_difference,
+    rmse,
+    summarize_many,
+)
+
+
+class TestBoxplot:
+    def test_five_number_summary(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.q1 == 2
+        assert stats.q3 == 4
+
+    def test_mean_and_count(self):
+        stats = boxplot_stats([2.0, 4.0, 6.0])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.count == 3
+
+    def test_outlier_detection(self):
+        data = [10.0] * 20 + [100.0]
+        stats = boxplot_stats(data)
+        assert stats.outliers == (100.0,)
+        assert stats.whisker_high == 10.0
+
+    def test_low_outlier(self):
+        data = [10.0] * 20 + [-50.0]
+        stats = boxplot_stats(data)
+        assert -50.0 in stats.outliers
+
+    def test_no_outliers_in_uniform_data(self):
+        stats = boxplot_stats(list(range(100)))
+        assert stats.outliers == ()
+
+    def test_iqr(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.iqr == pytest.approx(2.0)
+
+    def test_single_point(self):
+        stats = boxplot_stats([7.0])
+        assert stats.median == 7.0
+        assert stats.outliers == ()
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            boxplot_stats([])
+
+    def test_row_rendering(self):
+        row = boxplot_stats([1.0, 2.0, 3.0]).row()
+        assert "med=" in row and "n=" in row
+
+    def test_summarize_many(self):
+        boxes = summarize_many([[1, 2, 3], [4, 5, 6]])
+        assert len(boxes) == 2
+        assert boxes[1].median == 5
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        assert rmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_symmetry(self):
+        a, b = [1.0, 5.0, 2.0], [2.0, 3.0, 4.0]
+        assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            rmse([1, 2], [1, 2, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            rmse([], [])
+
+
+class TestRelativeDifference:
+    def test_increase(self):
+        assert relative_difference(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_decrease(self):
+        assert relative_difference(90.0, 100.0) == pytest.approx(-0.1)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(TrainingError):
+            relative_difference(1.0, 0.0)

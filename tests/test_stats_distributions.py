@@ -1,0 +1,126 @@
+"""Tests for distribution wrappers and AIC-based model selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.stats.distributions import (
+    NegativeBinomialDistribution,
+    NormalDistribution,
+    PoissonDistribution,
+    UniformDistribution,
+)
+from repro.stats.fitting import fit_all_candidates, fit_best
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+class TestNormal:
+    def test_fit_recovers_parameters(self, rng):
+        sample = rng.normal(5.0, 2.0, size=5000)
+        fitted = NormalDistribution.fit(sample)
+        assert fitted.mu == pytest.approx(5.0, abs=0.1)
+        assert fitted.sigma == pytest.approx(2.0, abs=0.1)
+
+    def test_sample_statistics(self, rng):
+        dist = NormalDistribution(mu=3.0, sigma=1.0)
+        draws = dist.sample(rng, size=5000)
+        assert draws.mean() == pytest.approx(3.0, abs=0.1)
+
+    def test_mean(self):
+        assert NormalDistribution(mu=7.0, sigma=2.0).mean() == 7.0
+
+    def test_log_likelihood_finite(self, rng):
+        sample = rng.normal(size=100)
+        fitted = NormalDistribution.fit(sample)
+        assert np.isfinite(fitted.log_likelihood(sample))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(TrainingError):
+            NormalDistribution.fit([])
+
+
+class TestUniform:
+    def test_fit_bounds(self):
+        fitted = UniformDistribution.fit([1.0, 3.0, 2.0])
+        assert fitted.low == 1.0
+        assert fitted.high == 3.0
+
+    def test_degenerate_sample_widened(self):
+        fitted = UniformDistribution.fit([2.0, 2.0])
+        assert fitted.high > fitted.low
+
+    def test_samples_within_bounds(self, rng):
+        dist = UniformDistribution(low=-1.0, high=1.0)
+        draws = dist.sample(rng, size=1000)
+        assert draws.min() >= -1.0 and draws.max() <= 1.0
+
+    def test_likelihood_outside_support(self):
+        dist = UniformDistribution(low=0.0, high=1.0)
+        assert dist.log_likelihood([2.0]) == float("-inf")
+
+    def test_mean(self):
+        assert UniformDistribution(low=0.0, high=4.0).mean() == 2.0
+
+
+class TestPoisson:
+    def test_fit_lambda(self, rng):
+        sample = rng.poisson(4.0, size=5000)
+        fitted = PoissonDistribution.fit(sample)
+        assert fitted.lam == pytest.approx(4.0, abs=0.15)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TrainingError):
+            PoissonDistribution.fit([-1.0, 2.0])
+
+    def test_samples_nonnegative_integers(self, rng):
+        draws = PoissonDistribution(lam=2.0).sample(rng, size=500)
+        assert (draws >= 0).all()
+        assert np.array_equal(draws, np.round(draws))
+
+
+class TestNegativeBinomial:
+    def test_fit_overdispersed(self, rng):
+        sample = rng.negative_binomial(5, 0.3, size=5000).astype(float)
+        fitted = NegativeBinomialDistribution.fit(sample)
+        assert fitted.mean() == pytest.approx(sample.mean(), rel=0.1)
+
+    def test_underdispersed_degenerate_ok(self):
+        # var <= mean: fit must not crash.
+        fitted = NegativeBinomialDistribution.fit([3.0, 3.0, 3.0, 3.0])
+        assert fitted.n > 0 and 0 < fitted.p < 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(TrainingError):
+            NegativeBinomialDistribution.fit([-2.0])
+
+
+class TestFitting:
+    def test_normal_wins_on_normal_data(self, rng):
+        sample = rng.normal(50.0, 5.0, size=500)
+        assert fit_best(sample).name == "normal"
+
+    def test_results_sorted_by_aic(self, rng):
+        sample = rng.normal(20.0, 4.0, size=300)
+        results = fit_all_candidates(sample)
+        aics = [result.aic for result in results]
+        assert aics == sorted(aics)
+
+    def test_poisson_competitive_on_counts(self, rng):
+        sample = rng.poisson(3.0, size=500).astype(float)
+        results = fit_all_candidates(sample)
+        names = [result.name for result in results[:2]]
+        assert "poisson" in names or "negative-binomial" in names
+
+    def test_negative_data_skips_count_models(self, rng):
+        sample = rng.normal(0.0, 1.0, size=200)  # has negative values
+        results = fit_all_candidates(sample)
+        names = {result.name for result in results}
+        assert "poisson" not in names
+
+    def test_all_candidates_fail_raises(self):
+        with pytest.raises(TrainingError):
+            fit_all_candidates([], candidates=(NormalDistribution,))

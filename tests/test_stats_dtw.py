@@ -1,0 +1,61 @@
+"""Tests for dynamic time warping."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.stats.dtw import dtw_distance
+
+
+class TestDtwBasics:
+    def test_identical_series_zero(self):
+        assert dtw_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_constant_offset(self):
+        # Every alignment step costs the offset; minimum path length 3.
+        assert dtw_distance([0, 0, 0], [1, 1, 1]) == pytest.approx(3.0)
+
+    def test_time_shift_cheap(self):
+        # DTW should align a shifted copy nearly for free, unlike RMSE.
+        a = [0, 0, 1, 5, 1, 0, 0, 0]
+        b = [0, 0, 0, 1, 5, 1, 0, 0]
+        assert dtw_distance(a, b) == 0.0
+
+    def test_different_lengths(self):
+        assert dtw_distance([1, 2, 3], [1, 2, 2, 3]) == 0.0
+
+    def test_symmetry(self):
+        a = [1.0, 3.0, 2.0, 8.0]
+        b = [2.0, 1.0, 4.0]
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_single_elements(self):
+        assert dtw_distance([2.0], [5.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            dtw_distance([], [1.0])
+
+
+class TestDtwWindow:
+    def test_window_equals_unconstrained_when_large(self):
+        a = [0, 1, 2, 3, 4, 3, 2, 1]
+        b = [0, 0, 1, 2, 3, 4, 3, 2]
+        assert dtw_distance(a, b, window=8) == pytest.approx(
+            dtw_distance(a, b))
+
+    def test_tight_window_still_valid(self):
+        a = list(range(10))
+        b = list(range(10))
+        assert dtw_distance(a, b, window=1) == 0.0
+
+    def test_window_widened_for_length_gap(self):
+        # |len(a) - len(b)| > window would admit no path; the function
+        # widens the band instead of failing.
+        assert dtw_distance([1] * 10, [1] * 3, window=1) == 0.0
+
+    def test_window_upper_bounds_distance(self):
+        a = [0, 5, 0, 5, 0, 5, 0, 5]
+        b = [5, 0, 5, 0, 5, 0, 5, 0]
+        tight = dtw_distance(a, b, window=1)
+        loose = dtw_distance(a, b)
+        assert loose <= tight

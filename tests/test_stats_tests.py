@@ -1,0 +1,83 @@
+"""Tests for the K-S and Wilcoxon statistical tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.stats.ks import ks_normality_test
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+
+
+class TestKsNormality:
+    def test_normal_sample_not_rejected(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        result = ks_normality_test(sample)
+        assert result.p_value > 0.05
+        assert not result.rejects_normality()
+
+    def test_uniform_sample_rejected(self):
+        rng = np.random.default_rng(0)
+        sample = rng.uniform(0.0, 1.0, size=2000)
+        result = ks_normality_test(sample)
+        assert result.rejects_normality()
+
+    def test_exponential_sample_rejected(self):
+        rng = np.random.default_rng(0)
+        sample = rng.exponential(1.0, size=1000)
+        assert ks_normality_test(sample).rejects_normality()
+
+    def test_statistic_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        result = ks_normality_test(rng.normal(size=50))
+        assert 0.0 <= result.statistic <= 1.0
+
+    def test_sample_size_recorded(self):
+        rng = np.random.default_rng(1)
+        assert ks_normality_test(rng.normal(size=37)).sample_size == 37
+
+    def test_too_small_raises(self):
+        with pytest.raises(TrainingError):
+            ks_normality_test([1.0, 2.0])
+
+    def test_zero_variance_raises(self):
+        with pytest.raises(TrainingError):
+            ks_normality_test([5.0] * 10)
+
+    def test_custom_alpha(self):
+        rng = np.random.default_rng(0)
+        result = ks_normality_test(rng.normal(size=100))
+        assert not result.rejects_normality(alpha=1e-9)
+
+
+class TestWilcoxon:
+    def test_identical_samples_insignificant(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        result = wilcoxon_signed_rank(sample, sample)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_shifted_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, size=100)
+        b = a + 2.0
+        assert wilcoxon_signed_rank(a, b).significant()
+
+    def test_noise_only_insignificant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, size=100)
+        b = a + rng.normal(0.0, 0.01, size=100)
+        assert not wilcoxon_signed_rank(a, b).significant()
+
+    def test_pair_count(self):
+        a = list(range(10))
+        b = [x + ((-1) ** x) * 0.5 for x in range(10)]
+        assert wilcoxon_signed_rank(a, b).n_pairs == 10
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            wilcoxon_signed_rank([1, 2, 3, 4, 5], [1, 2, 3, 4])
+
+    def test_too_few_pairs_raises(self):
+        with pytest.raises(TrainingError):
+            wilcoxon_signed_rank([1, 2, 3], [3, 2, 1])

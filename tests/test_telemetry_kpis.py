@@ -1,0 +1,68 @@
+"""Tests for KPI aggregation helpers."""
+
+import pytest
+
+from repro.fabric.failover import (
+    REASON_CAPACITY_VIOLATION,
+    REASON_MAKE_ROOM,
+    FailoverRecord,
+)
+from repro.fabric.replica import ReplicaRole
+from repro.telemetry.kpis import FailoverKpis
+from tests.conftest import make_ring
+
+
+def make_record(service_id, cores=4.0, disk=100.0, downtime=30.0,
+                role=ReplicaRole.PRIMARY,
+                reason=REASON_CAPACITY_VIOLATION):
+    return FailoverRecord(
+        time=0, service_id=service_id, replica_id=1, role=role,
+        from_node=0, to_node=1, metric="disk-gb", cores_moved=cores,
+        disk_moved_gb=disk, downtime_seconds=downtime,
+        rebuild_seconds=0.0, reason=reason)
+
+
+@pytest.fixture
+def ring(kernel, rng_registry):
+    return make_ring(kernel, rng_registry, node_count=6)
+
+
+class TestFailoverKpis:
+    def test_edition_split(self, ring):
+        gp = ring.control_plane.create_database("GP_Gen5_4", 0, 10.0)
+        bc = ring.control_plane.create_database("BC_Gen5_2", 0, 40.0)
+        records = [make_record(gp.db_id, cores=4.0),
+                   make_record(bc.db_id, cores=2.0)]
+        kpis = FailoverKpis.from_records(records, ring.control_plane)
+        assert kpis.count == 2
+        assert kpis.gp_cores_moved == 4.0
+        assert kpis.bc_cores_moved == 2.0
+        assert kpis.total_cores_moved == 6.0
+
+    def test_make_room_excluded(self, ring):
+        gp = ring.control_plane.create_database("GP_Gen5_4", 0, 10.0)
+        records = [make_record(gp.db_id),
+                   make_record(gp.db_id, reason=REASON_MAKE_ROOM)]
+        kpis = FailoverKpis.from_records(records, ring.control_plane)
+        assert kpis.count == 1
+
+    def test_primary_moves_counted(self, ring):
+        gp = ring.control_plane.create_database("GP_Gen5_4", 0, 10.0)
+        records = [make_record(gp.db_id, role=ReplicaRole.PRIMARY),
+                   make_record(gp.db_id, role=ReplicaRole.SECONDARY,
+                               downtime=0.0)]
+        kpis = FailoverKpis.from_records(records, ring.control_plane)
+        assert kpis.primary_moves == 1
+        assert kpis.total_downtime_seconds == 30.0
+
+    def test_empty_records(self, ring):
+        kpis = FailoverKpis.from_records([], ring.control_plane)
+        assert kpis.count == 0
+        assert kpis.total_cores_moved == 0.0
+
+    def test_disk_moved_accumulates(self, ring):
+        gp = ring.control_plane.create_database("GP_Gen5_4", 0, 10.0)
+        records = [make_record(gp.db_id, disk=50.0),
+                   make_record(gp.db_id, disk=75.0)]
+        kpis = FailoverKpis.from_records(records, ring.control_plane)
+        assert kpis.total_disk_moved_gb == 125.0

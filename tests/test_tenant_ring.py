@@ -1,0 +1,131 @@
+"""Tests for the assembled tenant ring (report sweep, maintenance)."""
+
+import pytest
+
+from repro.core.model_base import TotoModelSet
+from repro.errors import ScenarioError
+from repro.fabric.metrics import DISK_GB, GEN5_NODE
+from repro.sqldb.editions import Edition
+from repro.sqldb.tenant_ring import TenantRingConfig
+from repro.units import HOUR, MINUTE
+from tests.conftest import make_flat_disk_model, make_ring
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = TenantRingConfig()
+        assert config.node_count == 14
+        assert config.base_capacities == GEN5_NODE
+        assert config.density == 1.0
+
+    def test_density_applied_to_capacities(self):
+        config = TenantRingConfig(density=1.4)
+        assert config.node_capacities.cpu_cores == pytest.approx(
+            GEN5_NODE.cpu_cores * 1.4)
+        assert config.node_capacities.disk_gb == GEN5_NODE.disk_gb
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ScenarioError):
+            TenantRingConfig(node_count=0)
+        with pytest.raises(ScenarioError):
+            TenantRingConfig(density=-1.0)
+        with pytest.raises(ScenarioError):
+            TenantRingConfig(report_interval=0)
+
+
+class TestReportSweep:
+    def test_sweep_runs_on_interval(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        ring.start()
+        kernel.run_until(31 * MINUTE)
+        assert ring.report_sweeps == 6  # every 5 minutes
+
+    def test_sweep_applies_models(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=6)
+        db = ring.control_plane.create_database("BC_Gen5_2", now=0,
+                                                initial_data_gb=50.0)
+        model = make_flat_disk_model(Edition.PREMIUM_BC, mu=10.0,
+                                     rate_heterogeneity=0.0)
+        for rgmanager in ring.rgmanagers:
+            rgmanager.install_models(TotoModelSet([model]), 1)
+        ring.start()
+        kernel.run_until(HOUR + 1)
+        # 12 sweeps x 2.5 GB per 5-min interval per replica... first
+        # sweep reports the initial value, later ones add growth.
+        record = ring.cluster.service(db.db_id)
+        primary_disk = record.primary.load(DISK_GB)
+        assert primary_disk > 50.0
+        # All four replicas report the persisted primary value.
+        for replica in record.replicas:
+            assert replica.load(DISK_GB) == pytest.approx(primary_disk,
+                                                          abs=2.6)
+
+    def test_sweep_without_models_keeps_actuals(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        db = ring.control_plane.create_database("GP_Gen5_2", now=0,
+                                                initial_data_gb=30.0)
+        ring.start()
+        kernel.run_until(HOUR)
+        replica = ring.cluster.service(db.db_id).replicas[0]
+        assert replica.load(DISK_GB) == pytest.approx(
+            db.initial_local_disk_gb())
+
+    def test_failover_clears_source_memory(self, kernel, rng_registry):
+        """The wiring that produces §3.3.2 reset semantics end to end."""
+        ring = make_ring(kernel, rng_registry, node_count=4)
+        db = ring.control_plane.create_database("GP_Gen5_2", now=0,
+                                                initial_data_gb=30.0)
+        model = make_flat_disk_model(Edition.STANDARD_GP, mu=5.0,
+                                     persisted=False,
+                                     rate_heterogeneity=0.0)
+        for rgmanager in ring.rgmanagers:
+            rgmanager.install_models(TotoModelSet([model]), 1)
+        ring.start()
+        kernel.run_until(HOUR)
+        replica = ring.cluster.service(db.db_id).replicas[0]
+        grown = replica.load(DISK_GB)
+        assert grown > db.initial_local_disk_gb()
+
+        # Simulate the PLB moving it.
+        source = ring.cluster.node(replica.node_id)
+        target = next(node for node in ring.cluster.nodes
+                      if node.node_id != replica.node_id)
+        source.detach(replica)
+        target.attach(replica)
+        ring.rgmanagers[source.node_id].forget_replica(replica.replica_id)
+        kernel.run_until(kernel.now + 10 * MINUTE)
+        assert replica.load(DISK_GB) < grown
+
+    def test_stop_halts_sweeps(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        ring.start()
+        kernel.run_until(20 * MINUTE)
+        ring.stop()
+        sweeps = ring.report_sweeps
+        kernel.run_until(kernel.now + HOUR)
+        assert ring.report_sweeps == sweeps
+
+
+class TestMaintenance:
+    def test_maintenance_marks_and_clears_nodes(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=4,
+                         maintenance_interval_hours=2.0,
+                         maintenance_duration_hours=1.0)
+        ring.start()
+        saw_maintenance = False
+        for _ in range(72):
+            kernel.run_until(kernel.now + HOUR)
+            if any(node.in_maintenance for node in ring.cluster.nodes):
+                saw_maintenance = True
+        assert saw_maintenance
+        kernel.run_until(kernel.now + 2 * HOUR)
+        # Eventually every window closes.
+        ring.stop()
+        kernel.run_until(kernel.now + 2 * HOUR)
+        assert not any(node.in_maintenance for node in ring.cluster.nodes)
+
+    def test_disabled_by_default(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        ring.start()
+        kernel.run_until(10 * HOUR)
+        assert not any(node.in_maintenance for node in ring.cluster.nodes)
