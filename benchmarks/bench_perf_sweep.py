@@ -1,0 +1,68 @@
+"""Sweep-parallelism benchmark: wall-clock and determinism.
+
+Runs the paper's 4-density sweep twice — serial (``max_workers=1``)
+and fanned out over a process pool — asserts the results are
+byte-identical, and records the wall-clock speedup. On a multi-core
+machine the parallel sweep approaches Nx; on a single core it degrades
+gracefully (pool overhead only), which is also worth recording.
+
+``TOTO_PERF_DAYS`` (default 0.5) trims the per-run length so the
+benchmark stays usable while iterating; ``benchmarks/emit_bench.py``
+runs the full configuration for the recorded trajectory.
+"""
+
+import os
+import pickle
+import time
+
+from repro.experiments.scenarios import paper_scenario
+from repro.parallel import SweepExecutor
+
+PERF_DAYS = float(os.environ.get("TOTO_PERF_DAYS", "0.5"))
+PERF_WORKERS = int(os.environ.get("TOTO_PERF_WORKERS", "4"))
+DENSITIES = (1.0, 1.1, 1.2, 1.4)
+
+
+def sweep_scenarios():
+    return [paper_scenario(density=density, days=PERF_DAYS, seed=42,
+                           maintenance=True)
+            for density in DENSITIES]
+
+
+def timed_sweep(max_workers):
+    executor = SweepExecutor(max_workers=max_workers)
+    start = time.perf_counter()
+    results = executor.run(sweep_scenarios())
+    elapsed = time.perf_counter() - start
+    return results, elapsed, executor.last_mode
+
+
+def test_perf_sweep_parallel_speedup(benchmark):
+    serial_results, serial_seconds, _ = timed_sweep(max_workers=1)
+
+    def parallel_sweep():
+        return timed_sweep(max_workers=PERF_WORKERS)
+
+    parallel_results, parallel_seconds, mode = benchmark.pedantic(
+        parallel_sweep, rounds=1, iterations=1)
+
+    # Parallelism must be invisible in the results.
+    assert len(parallel_results) == len(serial_results)
+    for serial, parallel in zip(serial_results, parallel_results):
+        assert serial.kpis == parallel.kpis
+        assert serial.frames == parallel.frames
+        assert pickle.dumps(serial.kpis) == pickle.dumps(parallel.kpis)
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 2)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+    # On a multi-core box the sweep must actually get faster; a
+    # single-core box only has to stay within pool overhead.
+    if mode == "parallel" and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.5
+    else:
+        assert speedup > 0.5

@@ -1,0 +1,136 @@
+"""Emit BENCH_perf.json: the repo's performance trajectory record.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py            # full
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI smoke
+
+Records three headline numbers so future PRs can compare against the
+current state instead of guessing:
+
+* ``kernel_events_per_sec`` — raw event-layer throughput
+  (``bench_perf_kernel.pump_kernel``);
+* ``single_run`` — events/sec of one full benchmark run (models, PLB,
+  telemetry included), the number that dominates every study;
+* ``sweep`` — wall-clock of the 4-density x N-seed sweep at
+  ``workers=1`` vs ``workers=4`` and the resulting speedup.
+
+The JSON lands in the repo root as ``BENCH_perf.json``; commit it so
+the trajectory is versioned alongside the code it measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_perf_kernel import pump_kernel  # noqa: E402
+from repro import __version__  # noqa: E402
+from repro.core.runner import run_scenario  # noqa: E402
+from repro.experiments.scenarios import paper_scenario  # noqa: E402
+from repro.parallel import SweepExecutor  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def bench_single_run(days: float, seed: int = 42) -> dict:
+    scenario = paper_scenario(density=1.1, days=days, seed=seed,
+                              maintenance=False)
+    start = time.perf_counter()
+    result = run_scenario(scenario)
+    elapsed = time.perf_counter() - start
+    return {
+        "days": days,
+        "events": result.events_executed,
+        "seconds": round(elapsed, 3),
+        "events_per_sec": round(result.events_executed / elapsed, 1),
+    }
+
+
+def bench_sweep(days: float, seeds: tuple, workers: int) -> dict:
+    densities = (1.0, 1.1, 1.2, 1.4)
+    scenarios = [paper_scenario(density=density, days=days, seed=seed,
+                                maintenance=True)
+                 for density in densities for seed in seeds]
+
+    start = time.perf_counter()
+    serial = SweepExecutor(max_workers=1).run(scenarios)
+    serial_seconds = time.perf_counter() - start
+
+    executor = SweepExecutor(max_workers=workers)
+    start = time.perf_counter()
+    parallel = executor.run(scenarios)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = all(a.kpis == b.kpis and a.frames == b.frames
+                    for a, b in zip(serial, parallel))
+    return {
+        "densities": list(densities),
+        "seeds": list(seeds),
+        "days": days,
+        "runs": len(scenarios),
+        "serial_seconds": round(serial_seconds, 2),
+        "parallel_seconds": round(parallel_seconds, 2),
+        "workers": workers,
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "mode": executor.last_mode,
+        "results_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=str(OUT_PATH))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        kernel_events, run_days, sweep_days, seeds = 100_000, 0.25, 0.1, (42,)
+    else:
+        kernel_events, run_days, sweep_days, seeds = (
+            400_000, 6.0, 0.5, (42, 43, 44))
+
+    print("kernel microbenchmark ...", flush=True)
+    kernel = pump_kernel(kernel_events)
+    print(f"  {kernel['events_per_sec']:,.0f} events/sec")
+
+    print(f"single {run_days:g}-day run ...", flush=True)
+    single = bench_single_run(run_days)
+    print(f"  {single['events_per_sec']:,.1f} events/sec "
+          f"({single['seconds']}s)")
+
+    print(f"4-density x {len(seeds)}-seed sweep, workers=1 vs "
+          f"{args.workers} ...", flush=True)
+    sweep = bench_sweep(sweep_days, seeds, args.workers)
+    print(f"  serial {sweep['serial_seconds']}s, parallel "
+          f"{sweep['parallel_seconds']}s -> {sweep['speedup']}x "
+          f"({sweep['mode']})")
+
+    payload = {
+        "version": __version__,
+        "quick": args.quick,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "kernel_events_per_sec": round(kernel["events_per_sec"]),
+        "single_run": single,
+        "sweep": sweep,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,12 +40,41 @@ def _parse_densities(raw: str) -> tuple:
     return densities
 
 
+def _workers(args: argparse.Namespace) -> Optional[int]:
+    """--workers: 1 = serial (default), 0 = one per CPU core, N = N."""
+    return None if args.workers == 0 else args.workers
+
+
+def _worker_count(token: str) -> int:
+    count = int(token)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU core), got {count}")
+    return count
+
+
+def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the sweep (1 = serial, 0 = one per "
+             "CPU core); results are identical at any setting")
+
+
+def _print_progress(progress) -> None:
+    mode = "parallel" if progress.parallel else "serial"
+    print(f"  [{progress.completed}/{progress.total}] "
+          f"{progress.scenario_name} done ({mode})")
+
+
 def cmd_density_study(args: argparse.Namespace) -> int:
     study = DensityStudy(densities=_parse_densities(args.densities),
                          days=args.days, seed=args.seed,
-                         maintenance=not args.no_maintenance)
+                         maintenance=not args.no_maintenance,
+                         max_workers=_workers(args),
+                         progress=_print_progress)
     print(f"running {len(study.densities)} experiments x "
-          f"{args.days:g} simulated days (seed {args.seed}) ...")
+          f"{args.days:g} simulated days (seed {args.seed}, "
+          f"workers {args.workers or 'auto'}) ...")
     study.run()
     for section in (study.format_tables(), study.format_figure10(),
                     study.format_figure12(), study.format_figure14(),
@@ -114,7 +143,8 @@ def cmd_demographics(args: argparse.Namespace) -> int:
 
 def cmd_repeatability(args: argparse.Namespace) -> int:
     study = NondeterminismStudy(repeats=args.repeats, hours=args.hours,
-                                seed=args.seed)
+                                seed=args.seed,
+                                max_workers=_workers(args))
     print(f"running {args.repeats} identical {args.hours:g}h experiments "
           "(only the PLB seed differs) ...")
     print(study.format_report())
@@ -166,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     density.add_argument("--densities", default="100,110,120,140",
                          help="comma-separated percentages")
     density.add_argument("--no-maintenance", action="store_true")
+    _add_workers_flag(density)
     density.set_defaults(func=cmd_density_study)
 
     quick = sub.add_parser("quickstart", help="one short benchmark run")
@@ -198,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     repeat.add_argument("--repeats", type=int, default=3)
     repeat.add_argument("--hours", type=float, default=18.0)
     repeat.add_argument("--seed", type=int, default=42)
+    _add_workers_flag(repeat)
     repeat.set_defaults(func=cmd_repeatability)
 
     incident = sub.add_parser("incident",

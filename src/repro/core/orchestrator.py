@@ -42,6 +42,14 @@ class TotoOrchestrator:
             for rgmanager in ring.rgmanagers
         ]
         self.documents_published = 0
+        #: Blob-version-keyed parse cache: every node refreshing against
+        #: the same published version installs one shared (stateless,
+        #: see :mod:`repro.core.model_base`) model set instead of
+        #: re-reading and re-parsing the identical XML N times.
+        self._parsed_version = 0
+        self._parsed_model_set: Optional[TotoModelSet] = None
+        #: How many times the orchestrator actually parsed the blob.
+        self.parses = 0
 
     # ------------------------------------------------------------------
 
@@ -111,7 +119,19 @@ class TotoOrchestrator:
         if version == 0:
             rgmanager.install_models(None, 0)
             return
-        xml = self.naming.get(MODEL_XML_KEY)
-        document = parse_model_xml(xml)
-        rgmanager.install_models(TotoModelSet(document.resource_models),
-                                 version)
+        rgmanager.install_models(self._model_set_for(version), version)
+
+    def _model_set_for(self, version: int) -> TotoModelSet:
+        """Parse the published blob once per version (cached).
+
+        Versions are strictly monotonic per key (the Naming Service
+        never reuses them, even across delete/re-publish), so a single
+        latest-version slot is a complete cache.
+        """
+        if version != self._parsed_version or self._parsed_model_set is None:
+            xml = self.naming.get(MODEL_XML_KEY)
+            document = parse_model_xml(xml)
+            self._parsed_model_set = TotoModelSet(document.resource_models)
+            self._parsed_version = version
+            self.parses += 1
+        return self._parsed_model_set

@@ -80,6 +80,13 @@ class PopulationManager:
         self._process = PeriodicProcess(kernel, HOUR, self._tick,
                                         label="population-manager",
                                         align_to_period=True)
+        # Event labels, precomputed: thousands of creates/drops are
+        # scheduled per simulated week and per-event f-strings showed
+        # up on the scheduling fast path.
+        self._create_labels = {edition: f"create-{edition.short_name}"
+                               for edition in models.editions}
+        self._drop_labels = {edition: f"drop-{edition.short_name}"
+                             for edition in models.editions}
         #: Request log, kept for determinism assertions across runs.
         self.request_log: List[CreateRequest] = []
 
@@ -122,13 +129,13 @@ class PopulationManager:
                 self.request_log.append(request)
                 self._kernel.schedule(
                     request.at, lambda r=request: self._execute_create(r),
-                    label=f"create-{edition.short_name}")
+                    label=self._create_labels[edition])
             for _ in range(n_drops):
                 offset = int(self._rng.integers(0, HOUR))
                 self._kernel.schedule(
                     now + offset,
                     lambda e=edition: self._execute_drop(e),
-                    label=f"drop-{edition.short_name}")
+                    label=self._drop_labels[edition])
 
     def _sample_create(self, now: int, edition: Edition) -> CreateRequest:
         """Draw everything defining one create, in fixed draw order."""

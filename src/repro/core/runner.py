@@ -196,12 +196,14 @@ class BenchmarkRunner:
         control_plane = self.ring.control_plane
         failover_kpis = FailoverKpis.from_records(cluster.failovers,
                                                   control_plane)
+        reserved_cores = cluster.reserved_cores()
+        disk_gb = cluster.disk_usage_gb()
         kpis = RunKpis(
-            final_reserved_cores=cluster.reserved_cores(),
-            final_disk_gb=cluster.disk_usage_gb(),
-            core_utilization=(cluster.reserved_cores()
+            final_reserved_cores=reserved_cores,
+            final_disk_gb=disk_gb,
+            core_utilization=(reserved_cores
                               / cluster.total_capacity(CPU_CORES)),
-            disk_utilization=(cluster.disk_usage_gb()
+            disk_utilization=(disk_gb
                               / cluster.total_capacity(DISK_GB)),
             creation_redirects=control_plane.redirect_count(),
             active_databases=control_plane.active_count(),

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.runner import BenchmarkResult, run_scenario
+from repro.core.runner import BenchmarkResult
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import paper_scenario
+from repro.parallel import SweepExecutor
+from repro.parallel.executor import ProgressCallback
 from repro.sqldb.population import InitialPopulationSpec
 
 #: The paper's density levels.
@@ -48,7 +50,9 @@ class DensityStudy:
     def __init__(self, densities: Sequence[float] = PAPER_DENSITIES,
                  days: float = 6.0, seed: int = 42,
                  maintenance: bool = True,
-                 population: Optional[InitialPopulationSpec] = None) -> None:
+                 population: Optional[InitialPopulationSpec] = None,
+                 max_workers: Optional[int] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
         self.densities = tuple(densities)
         if 1.0 not in self.densities:
             raise ValueError("the study needs the 100% baseline")
@@ -56,19 +60,31 @@ class DensityStudy:
         self.seed = seed
         self.maintenance = maintenance
         self.population = population
+        self.max_workers = max_workers
+        self.progress = progress
         self._results: Dict[float, BenchmarkResult] = {}
 
     # ------------------------------------------------------------------
 
     def run(self) -> Dict[float, BenchmarkResult]:
-        """Execute (or return cached) runs for every density."""
-        for density in self.densities:
-            if density not in self._results:
-                scenario = paper_scenario(
-                    density=density, days=self.days, seed=self.seed,
-                    maintenance=self.maintenance,
-                    population=self.population)
-                self._results[density] = run_scenario(scenario)
+        """Execute (or return cached) runs for every density.
+
+        The densities are independent experiments sharing one model
+        document, so they fan out over :class:`SweepExecutor`; results
+        are keyed by density regardless of completion order and are
+        identical to the serial path (``max_workers=1``).
+        """
+        pending = [density for density in self.densities
+                   if density not in self._results]
+        if pending:
+            scenarios = [paper_scenario(
+                density=density, days=self.days, seed=self.seed,
+                maintenance=self.maintenance,
+                population=self.population) for density in pending]
+            executor = SweepExecutor(max_workers=self.max_workers,
+                                     progress=self.progress)
+            for density, result in zip(pending, executor.run(scenarios)):
+                self._results[density] = result
         return dict(self._results)
 
     def result(self, density: float) -> BenchmarkResult:
@@ -295,11 +311,17 @@ _STUDY_CACHE: Dict[Tuple, DensityStudy] = {}
 
 
 def default_density_study(days: float = 6.0, seed: int = 42,
-                          maintenance: bool = True) -> DensityStudy:
-    """Process-wide cached study so every benchmark shares one sweep."""
+                          maintenance: bool = True,
+                          max_workers: Optional[int] = None) -> DensityStudy:
+    """Process-wide cached study so every benchmark shares one sweep.
+
+    ``max_workers`` only controls *how* the sweep executes, never what
+    it produces, so it is deliberately not part of the cache key.
+    """
     key = (days, seed, maintenance)
     study = _STUDY_CACHE.get(key)
     if study is None:
-        study = DensityStudy(days=days, seed=seed, maintenance=maintenance)
+        study = DensityStudy(days=days, seed=seed, maintenance=maintenance,
+                             max_workers=max_workers)
         _STUDY_CACHE[key] = study
     return study

@@ -14,13 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.core.runner import BenchmarkResult, run_scenario
+from repro.core.runner import BenchmarkResult
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import paper_scenario
+from repro.parallel import SweepExecutor
 from repro.stats.descriptive import BoxplotStats, boxplot_stats
 from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
 
@@ -39,20 +40,28 @@ class NondeterminismStudy:
     """Runs N identical scenarios varying only the PLB salt."""
 
     def __init__(self, repeats: int = 3, hours: float = 18.0,
-                 density: float = 1.1, seed: int = 42) -> None:
+                 density: float = 1.1, seed: int = 42,
+                 max_workers: Optional[int] = None) -> None:
         self.repeats = repeats
         self.hours = hours
         self.density = density
         self.seed = seed
+        self.max_workers = max_workers
         self._results: List[BenchmarkResult] = []
 
     def run(self) -> List[BenchmarkResult]:
+        """Execute the repeats (parallel when ``max_workers`` allows).
+
+        Only the PLB salt differs between repeats; results stay in salt
+        order whatever the completion order.
+        """
         if not self._results:
-            for salt in range(self.repeats):
-                scenario = paper_scenario(
-                    density=self.density, days=self.hours / 24.0,
-                    seed=self.seed, plb_salt=salt, maintenance=False)
-                self._results.append(run_scenario(scenario))
+            scenarios = [paper_scenario(
+                density=self.density, days=self.hours / 24.0,
+                seed=self.seed, plb_salt=salt, maintenance=False)
+                for salt in range(self.repeats)]
+            self._results = SweepExecutor(
+                max_workers=self.max_workers).run(scenarios)
         return list(self._results)
 
     # ------------------------------------------------------------------

@@ -13,11 +13,12 @@ redirects, failovers, and adjusted revenue?*
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.runner import BenchmarkResult, run_scenario
+from repro.core.runner import BenchmarkResult
 from repro.core.scenario import BenchmarkScenario
 from repro.experiments.report import format_table
+from repro.parallel import SweepExecutor
 
 Transform = Callable[[BenchmarkScenario], BenchmarkScenario]
 
@@ -53,7 +54,8 @@ class ConfigSweep:
     """Run a baseline plus variants and diff their KPIs."""
 
     def __init__(self, baseline: BenchmarkScenario,
-                 variants: Sequence[Variant]) -> None:
+                 variants: Sequence[Variant],
+                 max_workers: Optional[int] = None) -> None:
         labels = [variant.label for variant in variants]
         if len(set(labels)) != len(labels):
             raise ValueError(f"duplicate variant labels in {labels}")
@@ -61,20 +63,28 @@ class ConfigSweep:
             raise ValueError("'baseline' is reserved")
         self.baseline = baseline
         self.variants = list(variants)
+        self.max_workers = max_workers
         self._outcomes: List[VariantOutcome] = []
 
     def run(self) -> List[VariantOutcome]:
-        """Execute the baseline and every variant (cached)."""
+        """Execute the baseline and every variant (cached).
+
+        The grid fans out over :class:`SweepExecutor`; outcome order is
+        fixed (baseline first, then variants as declared) regardless of
+        which run finishes first.
+        """
         if not self._outcomes:
-            self._outcomes.append(VariantOutcome(
-                label="baseline", result=run_scenario(self.baseline)))
+            labels = ["baseline"] + [v.label for v in self.variants]
+            scenarios = [self.baseline]
             for variant in self.variants:
                 scenario = variant.transform(self.baseline)
-                scenario = replace(scenario,
-                                   name=f"{self.baseline.name}"
-                                        f"+{variant.label}")
-                self._outcomes.append(VariantOutcome(
-                    label=variant.label, result=run_scenario(scenario)))
+                scenarios.append(replace(
+                    scenario,
+                    name=f"{self.baseline.name}+{variant.label}"))
+            results = SweepExecutor(
+                max_workers=self.max_workers).run(scenarios)
+            self._outcomes = [VariantOutcome(label=label, result=result)
+                              for label, result in zip(labels, results)]
         return list(self._outcomes)
 
     def outcome(self, label: str) -> VariantOutcome:

@@ -79,6 +79,11 @@ class ServiceFabricCluster(ClusterView):
         self.plb = PlacementAndLoadBalancer(self.nodes, plb_rng,
                                             use_annealing=use_annealing)
         self._services: Dict[str, ServiceRecord] = {}
+        #: Per-metric totals are static after construction (the node
+        #: list and every node's capacities never change), but they are
+        #: consulted in every telemetry frame and KPI assembly — so
+        #: compute each metric once, lazily.
+        self._capacity_cache: Dict[str, float] = {}
         self._replica_ids = itertools.count(1)
         self._replicas_by_id: Dict[int, Replica] = {}
         self.failovers: List[FailoverRecord] = []
@@ -131,7 +136,11 @@ class ServiceFabricCluster(ClusterView):
     # -- aggregate capacity views --------------------------------------
 
     def total_capacity(self, metric: str) -> float:
-        return total_capacity(self.nodes, metric)
+        cached = self._capacity_cache.get(metric)
+        if cached is None:
+            cached = total_capacity(self.nodes, metric)
+            self._capacity_cache[metric] = cached
+        return cached
 
     def total_load(self, metric: str) -> float:
         return total_load(self.nodes, metric)

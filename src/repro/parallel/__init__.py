@@ -1,0 +1,17 @@
+"""Parallel sweep execution.
+
+The paper's headline workflows are *sweeps* — four back-to-back density
+runs (§5.2), repeated multi-seed nondeterminism studies (§5.5), and
+configuration-review grids. Each run is an independent, fully seeded
+simulation, so they parallelize perfectly: :class:`SweepExecutor` fans
+scenarios out over a process pool while preserving the exact results
+(and result *order*) of the serial path.
+"""
+
+from repro.parallel.executor import (
+    SweepExecutor,
+    SweepProgress,
+    run_scenarios,
+)
+
+__all__ = ["SweepExecutor", "SweepProgress", "run_scenarios"]

@@ -1,0 +1,174 @@
+"""Fan independent benchmark scenarios out over a process pool.
+
+Design contract (what makes parallel sweeps safe to use anywhere the
+serial loop was used):
+
+* **Picklable specs** — workers receive the declarative
+  :class:`~repro.core.scenario.BenchmarkScenario` itself (frozen
+  dataclasses all the way down, including the trained model document),
+  never live simulation objects. Picklability is probed up front; an
+  unpicklable scenario degrades the whole sweep to the serial path
+  instead of failing.
+* **Deterministic results** — every run seeds its own
+  :class:`~repro.rng.RngRegistry` from ``scenario.seed`` inside the
+  worker process, exactly as :class:`~repro.core.runner.BenchmarkRunner`
+  does serially, so no RNG state crosses process boundaries. Results
+  are keyed by scenario position, never by completion order: the
+  returned list is index-aligned with the input and byte-identical to
+  what the serial loop produces.
+* **Graceful serial fallback** — ``max_workers=1``, a single-scenario
+  sweep, pickling failures, and pool startup failures (sandboxes
+  without working semaphores, missing ``fork``/``spawn`` support) all
+  fall back to in-process execution; a broken pool mid-sweep reruns the
+  missing scenarios serially.
+* **Progress callbacks** — an optional callback observes completions
+  (in completion order, the one place ordering is nondeterministic) so
+  CLIs can narrate long sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.runner import BenchmarkResult, run_scenario
+from repro.core.scenario import BenchmarkScenario
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One completed run inside a sweep."""
+
+    completed: int
+    total: int
+    scenario_name: str
+    parallel: bool
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def _execute(scenario: BenchmarkScenario) -> BenchmarkResult:
+    """Worker entry point: one full benchmark run in this process."""
+    return run_scenario(scenario)
+
+
+class SweepExecutor:
+    """Runs a batch of independent scenarios, in parallel when possible.
+
+    Args:
+        max_workers: process count. ``None`` picks ``os.cpu_count()``
+            (capped at the sweep size); ``1`` forces the serial path.
+        progress: optional callback invoked after every completed run.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.progress = progress
+        #: How the last sweep actually executed ("serial" | "parallel");
+        #: lets tests and callers observe fallback decisions.
+        self.last_mode: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, scenarios: Sequence[BenchmarkScenario]
+            ) -> List[BenchmarkResult]:
+        """Execute every scenario; results are index-aligned with input."""
+        scenarios = list(scenarios)
+        if not scenarios:
+            self.last_mode = "serial"
+            return []
+        workers = self._effective_workers(len(scenarios))
+        if workers <= 1 or not self._picklable(scenarios):
+            return self._run_serial(scenarios)
+        return self._run_parallel(scenarios, workers)
+
+    # ------------------------------------------------------------------
+
+    def _effective_workers(self, sweep_size: int) -> int:
+        workers = self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return min(workers, sweep_size)
+
+    @staticmethod
+    def _picklable(scenarios: Sequence[BenchmarkScenario]) -> bool:
+        """Probe the round trip the pool needs; cheap vs one run."""
+        try:
+            for scenario in scenarios:
+                pickle.loads(pickle.dumps(scenario,
+                                          protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return False
+        return True
+
+    def _report(self, completed: int, total: int, name: str,
+                parallel: bool) -> None:
+        if self.progress is not None:
+            self.progress(SweepProgress(completed=completed, total=total,
+                                        scenario_name=name,
+                                        parallel=parallel))
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, scenarios: List[BenchmarkScenario],
+                    into: Optional[Dict[int, BenchmarkResult]] = None
+                    ) -> List[BenchmarkResult]:
+        """The plain loop; also finishes partially-parallel sweeps."""
+        self.last_mode = "serial"
+        results: Dict[int, BenchmarkResult] = into if into is not None else {}
+        total = len(scenarios)
+        for index, scenario in enumerate(scenarios):
+            if index in results:
+                continue
+            results[index] = _execute(scenario)
+            self._report(len(results), total, scenario.name, parallel=False)
+        return [results[index] for index in range(total)]
+
+    def _run_parallel(self, scenarios: List[BenchmarkScenario],
+                      workers: int) -> List[BenchmarkResult]:
+        total = len(scenarios)
+        results: Dict[int, BenchmarkResult] = {}
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, ImportError):
+            # No usable multiprocessing primitives on this host.
+            return self._run_serial(scenarios)
+        try:
+            with executor:
+                futures = {executor.submit(_execute, scenario): index
+                           for index, scenario in enumerate(scenarios)}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        # Scenario errors propagate exactly as serially.
+                        results[index] = future.result()
+                        self._report(len(results), total,
+                                     scenarios[index].name, parallel=True)
+        except (pickle.PicklingError, AttributeError, EOFError,
+                BrokenProcessPool):
+            # Pool died or a payload failed to cross the boundary:
+            # whatever already finished is keyed by index; rerun the
+            # rest in-process.
+            return self._run_serial(scenarios, into=results)
+        self.last_mode = "parallel"
+        return [results[index] for index in range(total)]
+
+
+def run_scenarios(scenarios: Sequence[BenchmarkScenario],
+                  max_workers: Optional[int] = None,
+                  progress: Optional[ProgressCallback] = None
+                  ) -> List[BenchmarkResult]:
+    """Convenience wrapper: one-shot sweep with optional parallelism."""
+    return SweepExecutor(max_workers=max_workers,
+                         progress=progress).run(scenarios)

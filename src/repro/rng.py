@@ -14,11 +14,25 @@ streams are created.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, Tuple, Union
 
 import numpy as np
 
 Token = Union[str, int]
+
+
+@lru_cache(maxsize=4096)
+def _hash_token(token: str) -> int:
+    """Stable FNV-1a hash of a string token (PYTHONHASHSEED-free).
+
+    Memoized: the same handful of component names ("rgmanager",
+    metric names, ...) are re-hashed on every stream lookup otherwise.
+    """
+    acc = 0x811C9DC5
+    for byte in token.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return acc
 
 
 def _spawn_key(tokens: Iterable[Token]) -> Tuple[int, ...]:
@@ -27,16 +41,8 @@ def _spawn_key(tokens: Iterable[Token]) -> Tuple[int, ...]:
     Strings are hashed with a stable FNV-1a so the key does not depend on
     ``PYTHONHASHSEED``; integers pass through.
     """
-    key = []
-    for token in tokens:
-        if isinstance(token, int):
-            key.append(token & 0xFFFFFFFF)
-        else:
-            acc = 0x811C9DC5
-            for byte in token.encode("utf-8"):
-                acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
-            key.append(acc)
-    return tuple(key)
+    return tuple(token & 0xFFFFFFFF if isinstance(token, int)
+                 else _hash_token(token) for token in tokens)
 
 
 class RngRegistry:

@@ -3,74 +3,167 @@
 Events are ordered by ``(time, sequence)``: events scheduled for the same
 instant fire in scheduling order, which keeps runs fully deterministic
 without relying on callback identity.
+
+Hot-path layout: the heap stores plain ``(time, sequence, event)``
+tuples, so every sift comparison is an int-tuple comparison (the unique
+sequence guarantees the :class:`Event` payload is never compared), and
+:class:`Event` uses ``__slots__`` — a six-day benchmark schedules
+hundreds of thousands of events and the per-event dict plus
+dataclass-generated ``__lt__`` dominated the scheduling cost. Labels may
+be passed as zero-argument callables so callers on the scheduling fast
+path can defer string formatting until a trace or error actually needs
+the label.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 
 Callback = Callable[[], None]
+#: Either the label itself or a zero-argument factory evaluated lazily.
+Label = Union[str, Callable[[], str]]
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Attributes:
         time: simulation timestamp at which the callback fires.
         sequence: tie-breaker preserving scheduling order.
-        callback: the zero-argument callable to invoke (excluded from
-            ordering comparisons).
-        label: human-readable tag used in tracing and error messages.
+        callback: the zero-argument callable to invoke.
+        label: human-readable tag used in tracing and error messages;
+            resolved on first access when scheduled lazily.
     """
 
-    time: int
-    sequence: int
-    callback: Callback = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "cancelled",
+                 "_label", "_queue")
+
+    def __init__(self, time: int, sequence: int, callback: Callback,
+                 label: Label = "") -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self._label = label
+        self._queue: Optional["EventQueue"] = None
+
+    @property
+    def label(self) -> str:
+        label = self._label
+        if not isinstance(label, str):
+            label = label()
+            self._label = label
+        return label
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancelled()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time}, seq={self.sequence}, "
+                f"label={self.label!r}{state})")
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap until they surface at the top —
+    except that once more than half the heap (and at least
+    ``COMPACT_MIN`` entries) is cancelled debris, the queue compacts
+    itself in one linear pass, so long runs with many cancelled timers
+    do not hold dead events or pay for sifting past them.
+    """
+
+    #: Minimum cancelled-entry count before compaction is considered.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - self._cancelled
 
-    def push(self, time: int, callback: Callback, label: str = "") -> Event:
+    def push(self, time: int, callback: Callback, label: Label = "") -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
         if time < 0:
             raise SimulationError(f"cannot schedule at negative time {time}")
-        event = Event(time=int(time), sequence=next(self._counter),
-                      callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        time = int(time)
+        event = Event(time, next(self._counter), callback, label)
+        event._queue = self
+        heapq.heappush(self._heap, (time, event.sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
+            self._cancelled -= 1
+        return None
+
+    def pop_before(self, end_time: int) -> Optional[Event]:
+        """Pop the earliest live event strictly before ``end_time``.
+
+        Returns None when the queue is empty or the earliest live event
+        is at or past ``end_time`` (that event stays queued). This is
+        the kernel's run-loop primitive: one heap traversal instead of a
+        peek followed by a pop.
+        """
+        heap = self._heap
+        while heap:
+            first = heap[0]
+            event = first[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if first[0] >= end_time:
+                return None
+            heapq.heappop(heap)
+            return event
         return None
 
     def peek_time(self) -> Optional[int]:
         """Return the timestamp of the earliest pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if heap:
+            return heap[0][0]
         return None
+
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Account one newly cancelled entry; compact when dominated."""
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN
+                and self._cancelled * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop all cancelled entries and re-heapify (linear time)."""
+        if self._cancelled == 0:
+            return
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still buried in the heap (for tests)."""
+        return self._cancelled

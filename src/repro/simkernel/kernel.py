@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.simkernel.clock import SimClock
-from repro.simkernel.event import Callback, Event, EventQueue
+from repro.simkernel.event import Callback, Event, EventQueue, Label
 
 
 class SimulationKernel:
@@ -32,15 +32,19 @@ class SimulationKernel:
         return len(self._queue)
 
     def schedule(self, time: int, callback: Callback,
-                 label: str = "") -> Event:
-        """Schedule ``callback`` at absolute time ``time``."""
+                 label: Label = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        ``label`` may be a string or a zero-argument callable resolved
+        lazily — hot-path callers avoid formatting strings per event.
+        """
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule '{label}' at {time}, now is {self.clock.now}")
         return self._queue.push(time, callback, label)
 
     def schedule_after(self, delay: int, callback: Callback,
-                       label: str = "") -> Event:
+                       label: Label = "") -> Event:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for '{label}'")
@@ -60,18 +64,22 @@ class SimulationKernel:
             raise SimulationError(
                 f"end_time {end_time} is before now {self.clock.now}")
         self._running = True
+        # Bind hot attributes once: the loop below runs for every event
+        # of a multi-day benchmark.
+        queue_pop_before = self._queue.pop_before
+        clock_advance = self.clock.advance_to
+        executed = 0
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time >= end_time:
+                event = queue_pop_before(end_time)
+                if event is None:
                     break
-                event = self._queue.pop()
-                assert event is not None
-                self.clock.advance_to(event.time)
+                clock_advance(event.time)
                 event.callback()
-                self.events_executed += 1
-            self.clock.advance_to(end_time)
+                executed += 1
+            clock_advance(end_time)
         finally:
+            self.events_executed += executed
             self._running = False
 
     def run_to_completion(self, max_events: int = 10_000_000) -> None:

@@ -80,6 +80,10 @@ class RgManager:
         self.governor: Optional[CpuGovernor] = None
         self._cpu_usage_raw: Dict[int, float] = {}
         self.cpu_usage_governed: Dict[int, float] = {}
+        #: Per-metric stream handles. The registry already memoizes by
+        #: spawn key, but deriving that key hashes the name path — too
+        #: hot for a lookup that happens on every metric-report RPC.
+        self._streams: Dict[str, np.random.Generator] = {}
 
     # ------------------------------------------------------------------
 
@@ -98,7 +102,12 @@ class RgManager:
         self.cpu_usage_governed.pop(replica_id, None)
 
     def _stream(self, metric: str) -> np.random.Generator:
-        return self._rng_registry.stream("rgmanager", self.node_id, metric)
+        stream = self._streams.get(metric)
+        if stream is None:
+            stream = self._rng_registry.stream(
+                "rgmanager", self.node_id, metric)
+            self._streams[metric] = stream
+        return stream
 
     # ------------------------------------------------------------------
 

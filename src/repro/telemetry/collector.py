@@ -86,8 +86,10 @@ class TelemetryCollector:
 
         reserved = sum(n.load(CPU_CORES) for n in live_nodes)
         disk = sum(n.load(DISK_GB) for n in live_nodes)
-        core_capacity = sum(n.capacities.cpu_cores for n in cluster.nodes)
-        disk_capacity = sum(n.capacities.disk_gb for n in cluster.nodes)
+        # Capacities are static after construction; the cluster memoizes
+        # these totals, so the per-frame cost is a dict lookup.
+        core_capacity = cluster.total_capacity(CPU_CORES)
+        disk_capacity = cluster.total_capacity(DISK_GB)
 
         bc_cores = 0.0
         total_cores = 0.0

@@ -75,6 +75,89 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             EventQueue().push(-1, lambda: None)
 
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+
+    def test_lazy_label_resolved_on_access(self):
+        queue = EventQueue()
+        calls = []
+
+        def label():
+            calls.append(1)
+            return "expensive-label"
+
+        event = queue.push(5, lambda: None, label)
+        assert calls == []          # not formatted at scheduling time
+        assert event.label == "expensive-label"
+        assert event.label == "expensive-label"
+        assert calls == [1]         # resolved exactly once
+
+    def test_pop_before_stops_at_end_time(self):
+        queue = EventQueue()
+        queue.push(5, lambda: None, "early")
+        queue.push(20, lambda: None, "late")
+        assert queue.pop_before(10).label == "early"
+        assert queue.pop_before(10) is None
+        assert len(queue) == 1      # the late event stays queued
+        assert queue.pop_before(21).label == "late"
+
+    def test_pop_before_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(5, lambda: None, "cancelled")
+        queue.push(6, lambda: None, "live")
+        first.cancel()
+        assert queue.pop_before(10).label == "live"
+
+
+class TestEventQueueCompaction:
+    def test_cancelled_debris_compacts(self):
+        """Cancelling most of a large heap sheds the dead entries."""
+        queue = EventQueue()
+        keep = [queue.push(t, lambda: None, "keep") for t in range(0, 50)]
+        doomed = [queue.push(t, lambda: None, "doomed")
+                  for t in range(50, 250)]
+        for event in doomed:
+            event.cancel()
+        # Compaction ran (possibly several times): debris stays bounded
+        # under the threshold instead of accumulating all 200 entries.
+        assert queue.cancelled_pending < EventQueue.COMPACT_MIN
+        assert len(queue._heap) < len(keep) + EventQueue.COMPACT_MIN
+        assert len(queue) == len(keep)
+        # And the survivors still pop in order.
+        assert [queue.pop().time for _ in range(3)] == [0, 1, 2]
+
+    def test_small_heaps_not_compacted(self):
+        """Tiny heaps skip compaction (below COMPACT_MIN debris)."""
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(10)]
+        for event in events[1:]:
+            event.cancel()
+        assert queue.cancelled_pending == 9
+        assert queue.pop().time == 0
+
+    def test_double_cancel_counted_once(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.cancelled_pending == 1
+        assert len(queue) == 1
+
+    def test_explicit_compact_keeps_order(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(20)]
+        for event in events[::2]:
+            event.cancel()
+        queue.compact()
+        assert queue.cancelled_pending == 0
+        assert [queue.pop().time for _ in range(10)] \
+            == list(range(1, 20, 2))
+
 
 class TestKernel:
     def test_executes_in_order(self, kernel):
