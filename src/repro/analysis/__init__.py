@@ -1,0 +1,46 @@
+"""Determinism & correctness static analysis (``totolint``).
+
+The benchmark's headline promise — a parallel sweep reproduces the
+serial loop *byte for byte* — only holds while no code path consults
+wall-clock time, global RNG state, interpreter identity, or unordered
+collection iteration on the event path.  This package machine-checks
+that determinism contract: an AST lint engine (:mod:`.engine`) walks
+every module under ``src/repro/`` and applies the repo-specific rules
+registered in :mod:`.rules` (TL001..TL008).
+
+Entry points:
+
+* ``repro-toto lint`` — the CLI subcommand (see :mod:`repro.cli`).
+* ``tools/totolint.py`` — the CI wrapper with stable exit codes.
+* :func:`lint_paths` / :func:`lint_source` — the library API tests use.
+
+Exit codes (stable; CI and pre-commit hooks rely on them):
+
+* ``0`` — no violations,
+* ``1`` — one or more violations,
+* ``2`` — internal error (unreadable path, unparseable file, bad rule
+  selection).
+"""
+
+from repro.analysis.engine import (
+    LintReport,
+    ModuleContext,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.report import format_json, format_text
+from repro.analysis.rules import Rule, all_rules, get_rules
+
+__all__ = [
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+]

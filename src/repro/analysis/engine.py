@@ -1,0 +1,217 @@
+"""AST lint engine: file discovery, suppression handling, rule driving.
+
+The engine is deliberately boring: parse each module once, hand the
+:class:`ModuleContext` to every applicable rule, collect
+:class:`Violation` records, drop the suppressed ones, and sort the rest
+so output is stable no matter the traversal order.  All repo-specific
+knowledge lives in :mod:`repro.analysis.rules`.
+
+Suppression syntax (checked per physical line of the flagged node)::
+
+    value = lookup()        # totolint: disable=TL004
+    other = lookup()        # totolint: disable=TL004,TL006
+    noisy = lookup()        # totolint: disable=all
+
+and per file, anywhere in the module (conventionally near the top)::
+
+    # totolint: disable-file=TL007
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.rules import Rule
+
+#: ``# totolint: disable=TL001,TL002`` / ``disable=all`` on one line.
+_SUPPRESS_LINE = re.compile(
+    r"#\s*totolint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: ``# totolint: disable-file=TL007`` anywhere in the module.
+_SUPPRESS_FILE = re.compile(
+    r"#\s*totolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+class LintEngineError(Exception):
+    """Internal engine failure (unreadable path, unparseable module).
+
+    The CLI maps this (and any other unexpected exception) to exit
+    code ``2`` so violations (exit ``1``) stay distinguishable from
+    tooling breakage.
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule infraction at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    __slots__ = ("path", "module", "source", "tree",
+                 "_line_suppressions", "_file_suppressions")
+
+    def __init__(self, path: str, module: str, source: str) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            raise LintEngineError(
+                f"cannot parse {path}: {error}") from error
+        self._line_suppressions: Dict[int, Set[str]] = {}
+        self._file_suppressions: Set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "totolint" not in line:
+                continue
+            match = _SUPPRESS_LINE.search(line)
+            if match:
+                codes = {token.strip().upper()
+                         for token in match.group(1).split(",")
+                         if token.strip()}
+                self._line_suppressions.setdefault(lineno, set()).update(codes)
+            match = _SUPPRESS_FILE.search(line)
+            if match:
+                self._file_suppressions.update(
+                    token.strip().upper()
+                    for token in match.group(1).split(",") if token.strip())
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True if the module lives under any of the dotted prefixes."""
+        return any(self.module == prefix
+                   or self.module.startswith(prefix + ".")
+                   for prefix in prefixes)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        codes = self._line_suppressions.get(line, ())
+        return (rule in codes or "ALL" in codes
+                or rule in self._file_suppressions
+                or "ALL" in self._file_suppressions)
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(path=self.path,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         rule=rule, message=message)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run, with stable ordering."""
+
+    violations: Tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` clean, ``1`` violations (``2`` is raised, not returned)."""
+        return 0 if self.clean else 1
+
+    def counts(self) -> Dict[str, int]:
+        """Violation count per rule code, sorted by code."""
+        tally: Dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    Falls back to the stem for files outside a ``repro`` tree (fixtures,
+    tests), which keeps package-scoped rules inert there unless the test
+    passes an explicit virtual path.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [path.stem]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """Every ``.py`` file under ``root``, sorted for stable output."""
+    if root.is_file():
+        return [root]
+    return sorted(path for path in root.rglob("*.py")
+                  if "__pycache__" not in path.parts)
+
+
+def lint_source(source: str, path: str = "src/repro/example.py",
+                rules: Optional[Sequence["Rule"]] = None) -> LintReport:
+    """Lint an in-memory module as if it lived at ``path``.
+
+    The virtual ``path`` decides which package-scoped rules apply, so
+    tests can exercise e.g. the simkernel-only rules on fixtures.
+    """
+    context = ModuleContext(path=path,
+                            module=module_name_for(Path(path)),
+                            source=source)
+    return LintReport(violations=_check_module(context, _resolve(rules)),
+                      files_checked=1)
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence["Rule"]] = None) -> LintReport:
+    """Lint every Python file under each path (file or directory)."""
+    active = _resolve(rules)
+    violations: List[Violation] = []
+    files_checked = 0
+    for root in paths:
+        root = Path(root)
+        if not root.exists():
+            raise LintEngineError(f"no such file or directory: {root}")
+        for file_path in iter_python_files(root):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise LintEngineError(
+                    f"cannot read {file_path}: {error}") from error
+            context = ModuleContext(path=str(file_path),
+                                    module=module_name_for(file_path),
+                                    source=source)
+            violations.extend(_check_module(context, active))
+            files_checked += 1
+    return LintReport(violations=tuple(sorted(violations)),
+                      files_checked=files_checked)
+
+
+def _resolve(rules: Optional[Sequence["Rule"]]) -> Sequence["Rule"]:
+    if rules is not None:
+        return rules
+    from repro.analysis.rules import get_rules
+    return get_rules()
+
+
+def _check_module(context: ModuleContext,
+                  rules: Sequence["Rule"]) -> Tuple[Violation, ...]:
+    found: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for violation in rule.check(context):
+            if not context.suppressed(violation.rule, violation.line):
+                found.append(violation)
+    return tuple(sorted(found))

@@ -1,0 +1,474 @@
+"""The repo-specific lint rules (TL001..TL008).
+
+Each rule encodes one clause of the determinism/correctness contract
+described in ``docs/STATIC_ANALYSIS.md``.  Rules are small AST visitors:
+they receive a parsed :class:`~repro.analysis.engine.ModuleContext` and
+yield :class:`~repro.analysis.engine.Violation` records; the engine
+handles suppression, ordering and reporting.
+
+Adding a rule: subclass :class:`Rule`, set ``code``/``title``/
+``rationale`` (and ``scopes`` if package-limited), implement
+:meth:`Rule.check`, and decorate with :func:`register`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Type
+
+from repro.analysis.engine import LintEngineError, ModuleContext, Violation
+
+
+class Rule:
+    """Base class for one lint rule."""
+
+    #: Stable identifier, e.g. ``"TL001"``; used in reports and
+    #: ``# totolint: disable=`` comments.
+    code: str = "TL000"
+    #: One-line summary shown by ``repro-toto lint --list-rules``.
+    title: str = ""
+    #: Why the rule exists (rendered into docs/STATIC_ANALYSIS.md).
+    rationale: str = ""
+    #: Dotted module prefixes the rule is limited to; empty = everywhere.
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return not self.scopes or context.in_package(*self.scopes)
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, context: ModuleContext, node: ast.AST,
+                  message: str) -> Violation:
+        return context.violation(self.code, node, message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_class()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_class
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, ordered by code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rules(codes: Optional[Iterable[str]] = None) -> Tuple[Rule, ...]:
+    """Resolve a rule-code selection (``None`` = every rule)."""
+    if codes is None:
+        return all_rules()
+    selected = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if normalized not in _REGISTRY:
+            raise LintEngineError(
+                f"unknown rule {code!r}; known: {', '.join(sorted(_REGISTRY))}")
+        selected.append(_REGISTRY[normalized])
+    return tuple(sorted(selected, key=lambda rule: rule.code))
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (None if dynamic)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _public_functions(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Module-level defs plus methods of public classes.
+
+    Functions nested inside other functions and everything under a
+    ``_Private`` class are implementation detail and not yielded.
+    """
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+        elif (isinstance(node, ast.ClassDef)
+              and not node.name.startswith("_")):
+            yield from _public_functions(node.body)
+
+
+# ---------------------------------------------------------------------------
+# TL001 — wall-clock time
+
+
+@register
+class NoWallClock(Rule):
+    code = "TL001"
+    title = "no wall-clock time on simulation code paths"
+    rationale = (
+        "Simulated runs must depend only on the event clock; any "
+        "`time.time()`/`datetime.now()` read makes results vary run to "
+        "run and breaks serial/parallel byte-equality. Real timing "
+        "belongs in `benchmarks/`, which is outside the linted tree.")
+
+    #: (module-ish, attr) pairs: matches the last two components, so
+    #: both ``time.monotonic()`` and ``datetime.datetime.now()`` hit.
+    _BANNED_PAIRS = frozenset({
+        ("time", "time"), ("time", "time_ns"),
+        ("time", "monotonic"), ("time", "monotonic_ns"),
+        ("time", "perf_counter"), ("time", "perf_counter_ns"),
+        ("time", "process_time"), ("time", "process_time_ns"),
+        ("datetime", "now"), ("datetime", "utcnow"),
+        ("datetime", "today"), ("date", "today"),
+    })
+    #: Distinctive bare names (``from time import perf_counter``).
+    _BANNED_NAMES = frozenset({
+        "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+        "process_time", "process_time_ns", "time_ns", "utcnow",
+    })
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                parts = dotted.split(".")
+                if (len(parts) >= 2
+                        and (parts[-2], parts[-1]) in self._BANNED_PAIRS):
+                    yield self.violation(
+                        context, node,
+                        f"wall-clock call `{dotted}()`: simulation code must "
+                        "use the kernel clock (repro.simkernel.clock)")
+                elif len(parts) == 1 and parts[0] in self._BANNED_NAMES:
+                    yield self.violation(
+                        context, node,
+                        f"wall-clock call `{dotted}()`: simulation code must "
+                        "use the kernel clock (repro.simkernel.clock)")
+
+
+# ---------------------------------------------------------------------------
+# TL002 — global RNG state
+
+
+@register
+class NoGlobalRng(Rule):
+    code = "TL002"
+    title = "no global random-number state"
+    rationale = (
+        "All randomness must thread through repro.rng streams (or an "
+        "explicitly seeded Generator); module-level `random.*` / "
+        "`np.random.*` draws share hidden state across components, so "
+        "reordering any call perturbs every later one.")
+
+    #: Constructors that create *local*, explicitly-seeded state.
+    _ALLOWED = frozenset({
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "Random",
+    })
+    _MODULES = frozenset({"random", "np.random", "numpy.random"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            base = _dotted(node.func.value)
+            if (base in self._MODULES
+                    and node.func.attr not in self._ALLOWED):
+                yield self.violation(
+                    context, node,
+                    f"global RNG call `{base}.{node.func.attr}()`: draw from "
+                    "a repro.rng.RngRegistry stream instead")
+
+
+# ---------------------------------------------------------------------------
+# TL003 — unordered iteration on hot paths
+
+
+@register
+class NoUnorderedIteration(Rule):
+    code = "TL003"
+    title = "no set iteration on simulation hot paths"
+    rationale = (
+        "Set iteration order depends on insertion history and element "
+        "hashes (PYTHONHASHSEED for strings, id() for objects), so any "
+        "loop over a set that schedules events or mutates state makes "
+        "runs diverge. Sort first (`sorted(...)`) or keep an "
+        "insertion-ordered dict/list. Sets remain fine for membership "
+        "tests. dict/dict.values() iteration is allowed: insertion "
+        "order is deterministic.")
+    scopes = ("repro.simkernel", "repro.fabric", "repro.sqldb")
+
+    _SET_METHODS = frozenset({"union", "intersection", "difference",
+                              "symmetric_difference"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                reason = self._set_valued(candidate)
+                if reason:
+                    yield self.violation(
+                        context, candidate,
+                        f"iteration over {reason} has nondeterministic "
+                        "order on a hot path; wrap in sorted(...) or use "
+                        "an insertion-ordered structure")
+
+    def _set_valued(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("set", "frozenset")):
+                return f"`{node.func.id}(...)`"
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._SET_METHODS):
+                return f"a `.{node.func.attr}()` result"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# TL004 — identity as ordering key
+
+
+@register
+class NoIdentityKeys(Rule):
+    code = "TL004"
+    title = "no id()/hash() values in program logic"
+    rationale = (
+        "`id()` is an interpreter address and `hash()` of strings is "
+        "salted per process (PYTHONHASHSEED), so either one used as a "
+        "sort key, dict key, or seed silently differs between the "
+        "serial loop and pool workers. Use stable identifiers (database "
+        "ids, node ids, sequence numbers) or repro.rng's FNV hashing.")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("id", "hash")):
+                yield self.violation(
+                    context, node,
+                    f"`{node.func.id}()` is process-specific: results "
+                    "differ between serial runs and pool workers; use a "
+                    "stable key instead")
+
+
+# ---------------------------------------------------------------------------
+# TL005 — mutable default arguments
+
+
+@register
+class NoMutableDefaults(Rule):
+    code = "TL005"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default is created once at import time and shared by "
+        "every call — state leaks across scenario runs, which is both a "
+        "correctness bug and a determinism hazard (results depend on "
+        "call history). Default to None and construct inside the body.")
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                                "defaultdict", "deque", "Counter",
+                                "OrderedDict"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None]
+            for default in defaults:
+                reason = self._mutable(default)
+                if reason:
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        context, default,
+                        f"mutable default {reason} in `{name}()` is shared "
+                        "across calls; default to None and build inside")
+
+    def _mutable(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "`[]`"
+        if isinstance(node, ast.Dict):
+            return "`{}`"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return "comprehension"
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._MUTABLE_CALLS):
+            return f"`{node.func.id}(...)`"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# TL006 — broad exception swallowing
+
+
+@register
+class NoBroadExcept(Rule):
+    code = "TL006"
+    title = "no bare/broad exception swallowing"
+    rationale = (
+        "`except Exception:` hides real faults — a typo in a callback "
+        "becomes a silently skipped event and the run keeps going with "
+        "wrong state. Catch the narrow repro.errors type you expect, or "
+        "re-raise after adding context (a handler containing `raise` "
+        "passes).")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if any(isinstance(inner, ast.Raise)
+                   for stmt in node.body
+                   for inner in ast.walk(stmt)):
+                continue
+            label = "bare `except:`" if broad == "" else f"`except {broad}:`"
+            yield self.violation(
+                context, node,
+                f"{label} swallows unexpected faults; catch a narrow "
+                "exception type (see repro.errors) or re-raise")
+
+    def _broad_name(self, node: Optional[ast.expr]) -> Optional[str]:
+        if node is None:
+            return ""
+        names = node.elts if isinstance(node, ast.Tuple) else [node]
+        for name in names:
+            dotted = _dotted(name)
+            if dotted is not None and dotted.split(".")[-1] in self._BROAD:
+                return dotted
+        return None
+
+
+# ---------------------------------------------------------------------------
+# TL007 — __slots__ on simkernel classes
+
+
+@register
+class KernelClassesNeedSlots(Rule):
+    code = "TL007"
+    title = "simkernel classes must declare __slots__"
+    rationale = (
+        "Every event of a multi-day benchmark allocates kernel objects; "
+        "per-instance dicts dominated the scheduling cost before the "
+        "PR-1 optimization pass. __slots__ also forbids ad-hoc "
+        "attribute injection, which keeps worker-process state "
+        "identical to serial state.")
+    scopes = ("repro.simkernel",)
+
+    _EXEMPT_BASES = frozenset({"Protocol", "NamedTuple", "TypedDict",
+                               "Enum", "IntEnum", "StrEnum"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._exempt(node) or self._declares_slots(node):
+                continue
+            yield self.violation(
+                context, node,
+                f"class `{node.name}` in simkernel has no __slots__; "
+                "kernel objects are allocated per event and must stay "
+                "dict-free")
+
+    def _exempt(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            dotted = _dotted(base) or ""
+            leaf = dotted.split(".")[-1]
+            if (leaf in self._EXEMPT_BASES or leaf.endswith("Error")
+                    or leaf.endswith("Exception")):
+                return True
+        for decorator in node.decorator_list:
+            # @dataclass(slots=True) generates __slots__ itself.
+            if (isinstance(decorator, ast.Call)
+                    and (_dotted(decorator.func) or "").endswith("dataclass")
+                    and any(kw.arg == "slots"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                            for kw in decorator.keywords)):
+                return True
+        return False
+
+    def _declares_slots(self, node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            if any(isinstance(target, ast.Name)
+                   and target.id == "__slots__" for target in targets):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# TL008 — full annotations on public API
+
+
+@register
+class PublicApiFullyTyped(Rule):
+    code = "TL008"
+    title = "public core/simkernel/parallel functions fully annotated"
+    rationale = (
+        "The strict-mypy zone can only catch seed/state type confusion "
+        "if public signatures are complete: every parameter and the "
+        "return type. Private helpers (leading underscore) and nested "
+        "closures are exempt.")
+    scopes = ("repro.core", "repro.simkernel", "repro.parallel")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for function in _public_functions(context.tree.body):
+            name = function.name
+            if name.startswith("_") and name != "__init__":
+                continue
+            missing = self._missing(function)
+            if missing:
+                yield self.violation(
+                    context, function,
+                    f"public `{name}()` is missing annotations for: "
+                    f"{', '.join(missing)}")
+
+    def _missing(self, node: ast.AST) -> Tuple[str, ...]:
+        args = node.args
+        missing = []
+        positional = list(args.posonlyargs) + list(args.args)
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None and arg.annotation is None:
+                missing.append("*" + arg.arg)
+        if node.returns is None:
+            missing.append("return")
+        return tuple(missing)

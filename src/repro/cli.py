@@ -8,6 +8,7 @@ Exposes the benchmark framework the way an operator would use it::
     python -m repro validate
     python -m repro repeatability --repeats 3 --hours 18
     python -m repro incident --slo BC_Gen5_6 --growth-gb 1300 --density 140
+    python -m repro lint --format json
 
 Every subcommand prints the same plain-text tables the benchmark
 harness emits, so CLI runs and ``pytest benchmarks/`` agree.
@@ -180,6 +181,12 @@ def cmd_incident(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+    return run_lint(paths=args.paths, output_format=args.format,
+                    rules=args.rules, list_rules=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -243,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
     incident.add_argument("--seed", type=int, default=42)
     incident.add_argument("--rapid", action="store_true")
     incident.set_defaults(func=cmd_incident)
+
+    from repro.analysis.cli import add_lint_arguments
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & correctness static analysis (TL001..TL008)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from statistics import NormalDist
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ModelSpecError
 from repro.core.hourly_schedule import HourlyNormalSchedule
 from repro.core.model_base import (
@@ -167,7 +169,8 @@ class DiskUsageModel(ResourceModel):
 
     # -- creation-time decisions ----------------------------------------
 
-    def sample_creation_flags(self, rng) -> Tuple[bool, float, bool]:
+    def sample_creation_flags(self, rng: np.random.Generator
+                              ) -> Tuple[bool, float, bool]:
         """Decide a new database's growth patterns.
 
         Returns ``(high_initial_growth, initial_total_gb, rapid_growth)``.

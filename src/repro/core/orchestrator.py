@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.model_base import TotoModelSet
+from repro.fabric.naming import NamingService
 from repro.core.model_xml import (
     TotoModelDocument,
     parse_model_xml,
@@ -54,7 +55,7 @@ class TotoOrchestrator:
     # ------------------------------------------------------------------
 
     @property
-    def naming(self):
+    def naming(self) -> NamingService:
         return self._ring.cluster.naming
 
     def start(self) -> None:

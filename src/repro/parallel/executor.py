@@ -105,7 +105,10 @@ class SweepExecutor:
             for scenario in scenarios:
                 pickle.loads(pickle.dumps(scenario,
                                           protocol=pickle.HIGHEST_PROTOCOL))
-        except Exception:
+        except (pickle.PickleError, TypeError, AttributeError,
+                NotImplementedError, ValueError, EOFError, RecursionError):
+            # Everything pickle raises for an unserializable payload;
+            # a probe failure means "use the serial path", never "crash".
             return False
         return True
 

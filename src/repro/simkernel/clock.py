@@ -13,6 +13,8 @@ from repro.units import DAY, HOUR, format_duration
 class SimClock:
     """Monotonic integer-second simulation clock."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise SimulationError(f"clock cannot start at {start}")

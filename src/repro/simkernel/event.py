@@ -82,6 +82,8 @@ class EventQueue:
     do not hold dead events or pay for sifting past them.
     """
 
+    __slots__ = ("_heap", "_counter", "_cancelled")
+
     #: Minimum cancelled-entry count before compaction is considered.
     COMPACT_MIN = 64
 

@@ -15,6 +15,8 @@ class SimulationKernel:
     executes events in timestamp order, advancing the shared clock.
     """
 
+    __slots__ = ("clock", "_queue", "_running", "events_executed")
+
     def __init__(self, start: int = 0) -> None:
         self.clock = SimClock(start)
         self._queue = EventQueue()

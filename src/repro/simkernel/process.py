@@ -21,6 +21,9 @@ Tick = Callable[[int], None]
 class PeriodicProcess:
     """Invokes ``tick(now)`` every ``period`` seconds once started."""
 
+    __slots__ = ("_kernel", "period", "_tick", "label", "align_to_period",
+                 "_next_event", "ticks_fired")
+
     def __init__(self, kernel: SimulationKernel, period: int, tick: Tick,
                  label: str = "periodic", align_to_period: bool = False) -> None:
         if period <= 0:

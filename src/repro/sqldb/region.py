@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import AdmissionRejected
+from repro.errors import AdmissionRejected, UnknownDatabaseError
 from repro.rng import RngRegistry
 from repro.simkernel import SimulationKernel
 from repro.sqldb.database import DatabaseInstance
@@ -126,7 +126,7 @@ class Region:
         for ring in self.rings:
             try:
                 database = ring.control_plane.database(db_id)
-            except Exception:
+            except UnknownDatabaseError:
                 continue
             if database.is_active:
                 return ring

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.errors import UnknownDatabaseError
 from repro.fabric.failover import FailoverRecord
 from repro.sqldb.control_plane import ControlPlane
 from repro.sqldb.editions import Edition
@@ -46,7 +47,10 @@ class FailoverKpis:
         for record in records:
             try:
                 edition = control_plane.database(record.service_id).edition
-            except Exception:  # dropped bookkeeping races never happen; be safe
+            except UnknownDatabaseError:
+                # Failover records for databases the control plane never
+                # registered (bootstrap artifacts) default to the
+                # majority edition rather than aborting the KPI rollup.
                 edition = Edition.STANDARD_GP
             if edition is Edition.PREMIUM_BC:
                 bc_cores += record.cores_moved
