@@ -6,7 +6,7 @@ wall-clock time, global RNG state, interpreter identity, or unordered
 collection iteration on the event path.  This package machine-checks
 that determinism contract: an AST lint engine (:mod:`.engine`) walks
 every module under ``src/repro/`` and applies the repo-specific rules
-registered in :mod:`.rules` (TL001..TL008).
+registered in :mod:`.rules` (TL001..TL009).
 
 Entry points:
 

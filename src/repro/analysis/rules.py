@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (TL001..TL008).
+"""The repo-specific lint rules (TL001..TL009).
 
 Each rule encodes one clause of the determinism/correctness contract
 described in ``docs/STATIC_ANALYSIS.md``.  Rules are small AST visitors:
@@ -472,3 +472,46 @@ class PublicApiFullyTyped(Rule):
         if node.returns is None:
             missing.append("return")
         return tuple(missing)
+
+
+# ---------------------------------------------------------------------------
+# TL009 — no real sleeping or unbounded retries in the chaos package
+
+
+@register
+class ChaosNeverSleeps(Rule):
+    code = "TL009"
+    title = "chaos code must not sleep or retry unboundedly"
+    rationale = (
+        "Fault injection models retries by walking backoff schedules in "
+        "*virtual* time: a real `time.sleep()` would stall the kernel "
+        "and desynchronize runs, and a `while True:` retry loop has no "
+        "budget, so an injected outage could hang the simulation "
+        "forever. Retry loops must be bounded `for` loops over a "
+        "BackoffPolicy's max_retries.")
+    scopes = ("repro.chaos",)
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is not None and dotted.split(".")[-1] == "sleep":
+                    yield self.violation(
+                        context, node,
+                        f"`{dotted}()` sleeps in real time; chaos code must "
+                        "wait in virtual time via the kernel or "
+                        "probe_through_backoff")
+            elif isinstance(node, ast.While) and self._unbounded(node):
+                yield self.violation(
+                    context, node,
+                    "unbounded `while` loop in chaos code; bound retries "
+                    "with `for attempt in range(policy.max_retries)`")
+
+    def _unbounded(self, node: ast.While) -> bool:
+        """A constant-truthy test with no `break` can never terminate."""
+        test = node.test
+        constant_true = (isinstance(test, ast.Constant) and bool(test.value))
+        if not constant_true:
+            return False
+        return not any(isinstance(inner, ast.Break)
+                       for stmt in node.body for inner in ast.walk(stmt))

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the Toto reproduction.
+
+See docs/CHAOS.md for the fault taxonomy, the profile format, and the
+determinism contract this package upholds.
+"""
+
+from repro.chaos.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.chaos.injector import ChaosKpis, ChaosTelemetry, FaultInjector
+from repro.chaos.retry import BackoffPolicy, RetryResult, probe_through_backoff
+
+__all__ = [
+    "BackoffPolicy",
+    "ChaosConfig",
+    "ChaosKpis",
+    "ChaosTelemetry",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "RetryResult",
+    "probe_through_backoff",
+]

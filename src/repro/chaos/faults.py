@@ -1,0 +1,217 @@
+"""Fault taxonomy, fault schedules, and chaos profiles.
+
+The paper validates Toto under real operational noise: nodes fail and
+their replicas are rebuilt elsewhere ("intermittent failures that also
+happen in production", §5.2), stateless metric models reset on
+failover while persisted local-store state is resumed by a newly
+promoted primary (§3.1/§3.3.2), and every component re-reads the
+Naming Service on a fixed cadence and must survive it being slow or
+stale. This module declares those disturbances *declaratively* so a
+benchmark scenario can carry a fault plan the same way it carries a
+model document — picklable, validated, and reproducible.
+
+Two layers:
+
+* :class:`FaultSpec` / :class:`FaultSchedule` — concrete fault
+  instances pinned to offsets relative to the experiment's official
+  start. Tests and incident replays write these by hand.
+* :class:`ChaosConfig` — a statistical profile ("two node crashes and
+  one naming outage over the run") that :meth:`ChaosConfig.materialize`
+  expands into a concrete schedule using **named RNG substreams**, so
+  an identical scenario produces a byte-identical schedule in any
+  process (the determinism contract docs/CHAOS.md spells out).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.retry import BackoffPolicy
+from repro.errors import FaultSpecError
+from repro.rng import RngRegistry
+from repro.units import MINUTE
+
+
+class FaultKind(enum.Enum):
+    """Every disturbance the injector knows how to apply."""
+
+    #: A node goes down; its replicas are rebuilt elsewhere and the
+    #: node returns empty after ``duration`` (paper §5.2 failures).
+    NODE_CRASH = "node-crash"
+    #: The Naming Service rejects reads/writes for the window; callers
+    #: retry with backoff, then degrade to last-known-good state.
+    NAMING_OUTAGE = "naming-outage"
+    #: The Naming Service serves reads from a snapshot taken at window
+    #: start — the stale-read window every 15-minute refresher must
+    #: tolerate (§3.3.1).
+    NAMING_STALE = "naming-stale"
+    #: Metric-report RPCs from the targeted node (or all nodes) are
+    #: dropped; the replica simply misses report sweeps.
+    RPC_LOSS = "rpc-loss"
+    #: Metric-report RPCs succeed only after a timeout + retry.
+    RPC_LATENCY = "rpc-latency"
+    #: Control-plane create/drop calls fail transiently for the window.
+    CONTROL_PLANE = "control-plane"
+    #: The Population Manager's hourly tick is stalled (daemon wedged).
+    PM_STALL = "pm-stall"
+
+
+#: Kinds whose ``target`` selects a node id (``None`` = injector picks
+#: or, for RPC faults, "every node").
+NODE_TARGETED_KINDS = frozenset({FaultKind.NODE_CRASH, FaultKind.RPC_LOSS,
+                                 FaultKind.RPC_LATENCY})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault instance.
+
+    Attributes:
+        kind: what to inject.
+        at: seconds after the experiment's official start.
+        duration: seconds the fault stays active (> 0).
+        target: node id for node-targeted kinds; ``None`` lets the
+            injector pick deterministically (node crashes) or applies
+            the fault cluster-wide (RPC faults).
+    """
+
+    kind: FaultKind
+    at: int
+    duration: int
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultSpecError(f"fault offset must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise FaultSpecError(
+                f"fault duration must be > 0, got {self.duration}")
+        if self.target is not None and self.target < 0:
+            raise FaultSpecError(f"fault target must be >= 0, got {self.target}")
+        if self.target is not None and self.kind not in NODE_TARGETED_KINDS:
+            raise FaultSpecError(
+                f"{self.kind.value} faults take no node target")
+
+    def window(self, start: int) -> Tuple[int, int]:
+        """Absolute half-open active window given the chaos start time."""
+        return (start + self.at, start + self.at + self.duration)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, validated collection of fault instances."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(
+            self.specs,
+            key=lambda s: (s.at, s.kind.value,
+                           -1 if s.target is None else s.target,
+                           s.duration)))
+        object.__setattr__(self, "specs", ordered)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def by_kind(self, kind: FaultKind) -> Tuple[FaultSpec, ...]:
+        """The schedule's specs of one kind, in firing order."""
+        return tuple(spec for spec in self.specs if spec.kind is kind)
+
+    def counts(self) -> Dict[str, int]:
+        """Spec count per fault kind (stable ordering, for reports)."""
+        tally: Dict[str, int] = {}
+        for spec in self.specs:
+            tally[spec.kind.value] = tally.get(spec.kind.value, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A statistical chaos profile attached to a benchmark scenario.
+
+    Counts are totals over the run; each fault's start offset is drawn
+    uniformly over the run from a named substream of the scenario's
+    root seed, so the materialized schedule — and therefore the whole
+    run — is byte-identical across processes and across serial vs.
+    parallel sweep execution.
+    """
+
+    profile: str = "custom"
+    node_crashes: int = 0
+    node_crash_duration: int = 30 * MINUTE
+    naming_outages: int = 0
+    naming_outage_duration: int = 10 * MINUTE
+    naming_stale_windows: int = 0
+    naming_stale_duration: int = 20 * MINUTE
+    rpc_loss_windows: int = 0
+    rpc_loss_duration: int = 10 * MINUTE
+    rpc_latency_windows: int = 0
+    rpc_latency_duration: int = 15 * MINUTE
+    control_plane_outages: int = 0
+    control_plane_outage_duration: int = 8 * MINUTE
+    pm_stalls: int = 0
+    pm_stall_duration: int = 90 * MINUTE
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: Hand-written faults appended to the generated ones (incident
+    #: replay style: "crash node 3 at hour 30").
+    extra_specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("node_crashes", "naming_outages", "naming_stale_windows",
+                     "rpc_loss_windows", "rpc_latency_windows",
+                     "control_plane_outages", "pm_stalls"):
+            if getattr(self, name) < 0:
+                raise FaultSpecError(f"{name} must be >= 0")
+
+    @property
+    def total_faults(self) -> int:
+        return (self.node_crashes + self.naming_outages
+                + self.naming_stale_windows + self.rpc_loss_windows
+                + self.rpc_latency_windows + self.control_plane_outages
+                + self.pm_stalls + len(self.extra_specs))
+
+    def materialize(self, duration: int, node_count: int,
+                    rng_registry: RngRegistry) -> FaultSchedule:
+        """Expand the profile into a concrete :class:`FaultSchedule`.
+
+        Every fault kind draws from its own named substream
+        (``("chaos", <kind>)``), so adding crashes to a profile never
+        perturbs when its naming outages land.
+        """
+        if duration <= 0:
+            raise FaultSpecError(f"run duration must be > 0, got {duration}")
+        if node_count <= 0:
+            raise FaultSpecError(f"node_count must be > 0, got {node_count}")
+        specs: List[FaultSpec] = list(self.extra_specs)
+        plan = (
+            (FaultKind.NODE_CRASH, self.node_crashes,
+             self.node_crash_duration),
+            (FaultKind.NAMING_OUTAGE, self.naming_outages,
+             self.naming_outage_duration),
+            (FaultKind.NAMING_STALE, self.naming_stale_windows,
+             self.naming_stale_duration),
+            (FaultKind.RPC_LOSS, self.rpc_loss_windows,
+             self.rpc_loss_duration),
+            (FaultKind.RPC_LATENCY, self.rpc_latency_windows,
+             self.rpc_latency_duration),
+            (FaultKind.CONTROL_PLANE, self.control_plane_outages,
+             self.control_plane_outage_duration),
+            (FaultKind.PM_STALL, self.pm_stalls, self.pm_stall_duration),
+        )
+        for kind, count, fault_duration in plan:
+            if count <= 0:
+                continue
+            stream = rng_registry.stream("chaos", kind.value)
+            horizon = max(duration - fault_duration, 1)
+            for _ in range(count):
+                at = int(stream.integers(0, horizon))
+                target: Optional[int] = None
+                if kind is FaultKind.NODE_CRASH:
+                    target = int(stream.integers(node_count))
+                specs.append(FaultSpec(kind=kind, at=at,
+                                       duration=fault_duration,
+                                       target=target))
+        return FaultSchedule(specs=tuple(specs))

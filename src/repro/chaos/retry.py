@@ -1,0 +1,99 @@
+"""Deterministic retry / exponential-backoff machinery.
+
+Real Toto components wrap their Naming Service and control-plane calls
+in retry loops with jittered exponential backoff. In a discrete-event
+simulation nothing may actually sleep — the kernel owns time — so this
+module models a retry loop as a *virtual probe*: given the moment a
+call fails and a predicate saying whether the fault is still active at
+a later virtual timestamp, walk the backoff schedule forward in virtual
+time and report whether any attempt would have landed outside the fault
+window. The loop is bounded by ``max_retries`` (totolint rule TL009
+forbids unbounded retry loops in this package) and the jitter comes
+from a named RNG stream, so two runs of the same scenario draw the
+same delays byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FaultSpecError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential backoff: ``base * multiplier**attempt``.
+
+    ``delay(attempt)`` is capped at ``max_delay`` and scaled by a
+    jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from the stream
+    the caller provides — never from global RNG state.
+    """
+
+    base_delay: float = 2.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    max_retries: int = 5
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise FaultSpecError("base_delay must be > 0")
+        if self.multiplier < 1.0:
+            raise FaultSpecError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise FaultSpecError("max_delay must be >= base_delay")
+        if self.max_retries < 0:
+            raise FaultSpecError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultSpecError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Jittered delay before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier ** attempt,
+                  self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
+
+    @property
+    def max_wait(self) -> float:
+        """Upper bound on total virtual seconds a retry loop can wait."""
+        total = 0.0
+        for attempt in range(self.max_retries):
+            total += min(self.base_delay * self.multiplier ** attempt,
+                         self.max_delay) * (1.0 + self.jitter)
+        return total
+
+
+@dataclass(frozen=True)
+class RetryResult:
+    """Outcome of walking one backoff schedule against a fault window."""
+
+    succeeded: bool
+    retries: int
+    waited: float
+
+
+def probe_through_backoff(policy: BackoffPolicy, now: float,
+                          rng: np.random.Generator,
+                          active_at: Callable[[float], bool]) -> RetryResult:
+    """Walk the backoff schedule in virtual time until the fault clears.
+
+    ``active_at(t)`` reports whether the fault still covers virtual
+    timestamp ``t``. The first attempt happens at ``now`` (that is the
+    call that just failed); each retry happens after the policy's next
+    jittered delay. Returns how many retries were spent, how much
+    virtual time they waited, and whether any attempt escaped the
+    window before the budget ran out.
+    """
+    waited = 0.0
+    for attempt in range(policy.max_retries):
+        waited += policy.delay(attempt, rng)
+        if not active_at(now + waited):
+            return RetryResult(succeeded=True, retries=attempt + 1,
+                               waited=waited)
+    return RetryResult(succeeded=False, retries=policy.max_retries,
+                       waited=waited)

@@ -4,6 +4,7 @@ Exposes the benchmark framework the way an operator would use it::
 
     python -m repro density-study --days 2
     python -m repro quickstart --density 120 --hours 12
+    python -m repro run --density 110 --hours 24 --chaos moderate
     python -m repro train --out models.xml
     python -m repro validate
     python -m repro repeatability --repeats 3 --hours 18
@@ -28,7 +29,12 @@ from repro.experiments.demographics import DemographicsStudy
 from repro.experiments.density import DensityStudy
 from repro.experiments.model_validation import ModelValidationStudy
 from repro.experiments.nondeterminism import NondeterminismStudy
-from repro.experiments.scenarios import paper_scenario, trained_artifacts
+from repro.experiments.scenarios import (
+    CHAOS_PROFILES,
+    chaos_profile,
+    paper_scenario,
+    trained_artifacts,
+)
 from repro.core.model_xml import serialize_model_xml
 from repro.units import HOUR, format_duration
 
@@ -102,6 +108,41 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
           f"({kpis.failovers.total_cores_moved:.0f} cores)")
     print(f"adjusted rev.  : ${result.revenue.total_adjusted:,.2f} "
           f"(penalty ${result.revenue.total_penalty:,.2f})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = paper_scenario(density=args.density / 100.0,
+                              days=args.hours / 24.0,
+                              seed=args.seed, maintenance=False)
+    if args.chaos:
+        scenario = scenario.with_chaos(chaos_profile(args.chaos))
+    print(f"running {scenario.name} for "
+          f"{format_duration(scenario.duration)} ...")
+    result = run_scenario(scenario)
+    kpis = result.kpis
+    print(f"reserved cores : {kpis.final_reserved_cores:.0f} "
+          f"({kpis.core_utilization:.1%})")
+    print(f"disk usage     : {kpis.final_disk_gb:,.0f} GB "
+          f"({kpis.disk_utilization:.1%})")
+    print(f"redirects      : {kpis.creation_redirects}")
+    print(f"failovers      : {kpis.failovers.count} "
+          f"({kpis.failovers.total_cores_moved:.0f} cores)")
+    print(f"adjusted rev.  : ${result.revenue.total_adjusted:,.2f} "
+          f"(penalty ${result.revenue.total_penalty:,.2f})")
+    chaos = kpis.chaos
+    if chaos is not None:
+        print(f"faults injected: {chaos.faults_injected} "
+              + " ".join(f"{kind}={count}"
+                         for kind, count in chaos.injected_by_kind))
+        print(f"chaos retries  : {chaos.retries} "
+              f"(over {chaos.probes} backoff probes)")
+        print(f"degraded       : {chaos.degraded_intervals} intervals "
+              f"(naming={chaos.naming_unavailable_errors}, "
+              f"rpc-lost={chaos.rpc_reports_lost}, "
+              f"creates-timed-out={chaos.creates_timed_out}, "
+              f"drops-deferred={chaos.drops_deferred}, "
+              f"pm-stalled={chaos.pm_ticks_stalled})")
     return 0
 
 
@@ -212,6 +253,18 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--seed", type=int, default=42)
     quick.set_defaults(func=cmd_quickstart)
 
+    run = sub.add_parser("run",
+                         help="one benchmark run, optionally under a "
+                              "fault-injection (chaos) profile")
+    run.add_argument("--density", type=float, default=110.0)
+    run.add_argument("--hours", type=float, default=24.0)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--chaos", default=None, metavar="PROFILE",
+                     choices=sorted(CHAOS_PROFILES),
+                     help="fault-injection profile: "
+                          + ", ".join(sorted(CHAOS_PROFILES)))
+    run.set_defaults(func=cmd_run)
+
     train = sub.add_parser("train",
                            help="train models, emit the XML blob")
     train.add_argument("--seed", type=int, default=20210620)
@@ -254,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
     lint = sub.add_parser(
         "lint",
-        help="determinism & correctness static analysis (TL001..TL008)")
+        help="determinism & correctness static analysis (TL001..TL009)")
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.model_base import TotoModelSet
+from repro.errors import NamingUnavailableError
 from repro.fabric.naming import NamingService
 from repro.core.model_xml import (
     TotoModelDocument,
@@ -51,6 +52,10 @@ class TotoOrchestrator:
         self._parsed_model_set: Optional[TotoModelSet] = None
         #: How many times the orchestrator actually parsed the blob.
         self.parses = 0
+        #: Refreshes skipped because the Naming Service stayed
+        #: unreachable past the retry budget; the node keeps running
+        #: its last-known-good models (graceful degradation).
+        self.refreshes_degraded = 0
 
     # ------------------------------------------------------------------
 
@@ -113,14 +118,22 @@ class TotoOrchestrator:
         return refresh
 
     def _refresh_one(self, rgmanager) -> None:
-        """One node's refresh: skip the parse when the blob is unchanged."""
-        version = self.naming.version(MODEL_XML_KEY)
-        if version == rgmanager.model_version:
-            return
-        if version == 0:
-            rgmanager.install_models(None, 0)
-            return
-        rgmanager.install_models(self._model_set_for(version), version)
+        """One node's refresh: skip the parse when the blob is unchanged.
+
+        A metastore outage that outlasts the retry budget leaves the
+        node on its last-known-good model blob — the refresh simply
+        happens 15 minutes later.
+        """
+        try:
+            version = self.naming.version(MODEL_XML_KEY)
+            if version == rgmanager.model_version:
+                return
+            if version == 0:
+                rgmanager.install_models(None, 0)
+                return
+            rgmanager.install_models(self._model_set_for(version), version)
+        except NamingUnavailableError:
+            self.refreshes_degraded += 1
 
     def _model_set_for(self, version: int) -> TotoModelSet:
         """Parse the published blob once per version (cached).

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import AdmissionRejected
+from repro.errors import AdmissionRejected, RetryBudgetExceeded
 from repro.core.create_drop import CreateDropModel
 from repro.core.disk_models import DiskUsageModel
 from repro.core.hourly_schedule import DayType
@@ -53,12 +53,14 @@ class PopulationManagerStats:
     """Counters for tests and reports."""
 
     hours_ticked: int = 0
+    hours_stalled: int = 0
     creates_requested: int = 0
     creates_admitted: int = 0
     creates_redirected: int = 0
     drops_requested: int = 0
     drops_executed: int = 0
     drops_skipped_empty: int = 0
+    drops_deferred: int = 0
 
 
 class PopulationManager:
@@ -77,6 +79,9 @@ class PopulationManager:
         self._document = model_document
         self.start_weekday = start_weekday
         self.stats = PopulationManagerStats()
+        #: Optional fault injector (set by its ``install()``); a stall
+        #: window makes the hourly tick a no-op.
+        self.chaos = None
         self._process = PeriodicProcess(kernel, HOUR, self._tick,
                                         label="population-manager",
                                         align_to_period=True)
@@ -117,6 +122,11 @@ class PopulationManager:
 
     def _tick(self, now: int) -> None:
         """Top-of-hour: sample counts, then schedule this hour's requests."""
+        if self.chaos is not None and self.chaos.population_gate(now):
+            # The stateless daemon is wedged for this hour; the churn
+            # it would have scheduled simply never happens.
+            self.stats.hours_stalled += 1
+            return
         self.stats.hours_ticked += 1
         daytype = DayType.of(now, self.start_weekday)
         hour = hour_of_day(now)
@@ -190,7 +200,14 @@ class PopulationManager:
             self.stats.drops_skipped_empty += 1
             return
         victim = self._choose_drop_victim(candidates)
-        self._control_plane.drop_database(victim.db_id, now)
+        try:
+            self._control_plane.drop_database(victim.db_id, now)
+        except RetryBudgetExceeded:
+            # Injected control-plane outage outlasted the retry budget;
+            # the database stays active and a later drop request will
+            # get it (created − dropped == active still holds).
+            self.stats.drops_deferred += 1
+            return
         self.stats.drops_executed += 1
 
     def _choose_drop_victim(self, candidates):

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.chaos.injector import FaultInjector
 from repro.errors import AdmissionRejected, ScenarioError
 from repro.core.orchestrator import TotoOrchestrator
 from repro.core.population_manager import PopulationManager
@@ -100,6 +101,17 @@ class BenchmarkRunner:
                 model_document=document,
                 start_weekday=scenario.ring.start_weekday,
             )
+        self.injector: Optional[FaultInjector] = None
+        if scenario.chaos is not None and scenario.chaos.total_faults > 0:
+            schedule = scenario.chaos.materialize(
+                duration=scenario.duration,
+                node_count=scenario.ring.node_count,
+                rng_registry=self.rng)
+            self.injector = FaultInjector(
+                kernel=self.kernel, ring=self.ring, schedule=schedule,
+                rng_registry=self.rng, backoff=scenario.chaos.backoff,
+                population_manager=self.population_manager)
+            self.injector.install()
         self._bootstrap_free_cores = 0.0
         self._bootstrap_disk_utilization = 0.0
 
@@ -126,9 +138,15 @@ class BenchmarkRunner:
         self.collector.start()
         if self.population_manager is not None:
             self.population_manager.start()
+        if self.injector is not None:
+            self.injector.start()
         self._schedule_scripted_creates()
 
         self.kernel.run_until(self.kernel.now + scenario.duration)
+        if self.injector is not None:
+            # Disarm the gates so final scoring reads an undisturbed
+            # metastore (faults whose windows outlast the run stop).
+            self.injector.finish()
         self.collector.capture_final()
         self.ring.cluster.validate_invariants()
         return self._assemble_result()
@@ -208,6 +226,8 @@ class BenchmarkRunner:
             creation_redirects=control_plane.redirect_count(),
             active_databases=control_plane.active_count(),
             failovers=failover_kpis,
+            chaos=(self.injector.telemetry.snapshot()
+                   if self.injector is not None else None),
         )
         revenue = adjusted_revenue_report(
             control_plane.all_databases(), now, naming=cluster.naming)

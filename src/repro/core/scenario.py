@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.chaos.faults import ChaosConfig
 from repro.errors import ScenarioError
 from repro.core.model_xml import TotoModelDocument
 from repro.sqldb.population import InitialPopulationSpec
@@ -78,6 +79,9 @@ class BenchmarkScenario:
     #: Hand-scripted creates replayed on top of the churn (use case (c):
     #: reproducing production incidents).
     scripted_creates: Tuple[ScriptedCreate, ...] = ()
+    #: Optional fault-injection profile (docs/CHAOS.md); None runs the
+    #: benchmark undisturbed.
+    chaos: Optional[ChaosConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -107,3 +111,10 @@ class BenchmarkScenario:
     def with_duration(self, duration: int) -> "BenchmarkScenario":
         """Copy with a different run length."""
         return replace(self, duration=duration)
+
+    def with_chaos(self, chaos: Optional[ChaosConfig]) -> "BenchmarkScenario":
+        """Copy with a fault-injection profile attached (or removed)."""
+        if chaos is None:
+            return replace(self, chaos=None)
+        return replace(self, name=f"{self.name}+chaos:{chaos.profile}",
+                       chaos=chaos)

@@ -36,6 +36,16 @@ class NamingServiceError(FabricError):
     """A Naming Service read/write failed (e.g. missing key)."""
 
 
+class NamingUnavailableError(NamingServiceError):
+    """The Naming Service stayed unreachable past the retry budget.
+
+    Raised by the fault-injection gate when an injected metastore
+    outage outlasts the caller's exponential-backoff schedule; callers
+    degrade gracefully (last-known-good model blob, node-local metric
+    state) instead of crashing the run.
+    """
+
+
 class UnknownReplicaError(FabricError):
     """A replica id was not found in the cluster."""
 
@@ -80,3 +90,21 @@ class TrainingError(ModelError):
 
 class ScenarioError(ReproError):
     """A benchmark scenario specification is invalid."""
+
+
+class ChaosError(ReproError):
+    """Base class for fault-injection (chaos) subsystem errors."""
+
+
+class FaultSpecError(ChaosError):
+    """A fault schedule or chaos profile is invalid."""
+
+
+class RetryBudgetExceeded(ChaosError):
+    """An injected transient fault outlasted the backoff schedule.
+
+    Raised by the chaos retry wrapper when every attempt of a
+    control-plane operation landed inside an active fault window; the
+    control plane converts it into the paper's graceful-degradation
+    semantics (a creation redirect, or a deferred drop).
+    """

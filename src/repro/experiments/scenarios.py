@@ -16,12 +16,14 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos.faults import ChaosConfig
 from repro.core.scenario import BenchmarkScenario
+from repro.errors import ScenarioError
 from repro.models.training import TrainingArtifacts, train_model_document
 from repro.sqldb.population import InitialPopulationSpec
 from repro.sqldb.tenant_ring import TenantRingConfig
 from repro.telemetry.region import US_EAST_LIKE, RegionProfile
-from repro.units import DAY
+from repro.units import DAY, MINUTE
 
 #: Seed used to synthesize + train the shared model document.
 DEFAULT_TRAINING_SEED = 20210620   # SIGMOD'21 opened June 20, 2021
@@ -86,3 +88,61 @@ def paper_scenario(density: float = 1.0,
         initial_population=(population if population is not None
                             else InitialPopulationSpec()),
     )
+
+
+#: Named fault-injection profiles (docs/CHAOS.md). Counts are per-day
+#: totals scaled by the run length in :func:`chaos_profile`; durations
+#: are fixed per profile.
+CHAOS_PROFILES: Dict[str, ChaosConfig] = {
+    # An occasional blip: the §5.2 "intermittent failures that also
+    # happen in production".
+    "light": ChaosConfig(
+        profile="light",
+        node_crashes=1, node_crash_duration=20 * MINUTE,
+        naming_stale_windows=1, naming_stale_duration=15 * MINUTE,
+    ),
+    # A rough day in a region: crashes plus a metastore incident and
+    # flaky metric-report RPCs.
+    "moderate": ChaosConfig(
+        profile="moderate",
+        node_crashes=2, node_crash_duration=30 * MINUTE,
+        naming_outages=1, naming_outage_duration=10 * MINUTE,
+        naming_stale_windows=2, naming_stale_duration=20 * MINUTE,
+        rpc_loss_windows=2, rpc_loss_duration=10 * MINUTE,
+        control_plane_outages=1, control_plane_outage_duration=8 * MINUTE,
+    ),
+    # A sustained incident: everything at once, including a wedged
+    # Population Manager.
+    "heavy": ChaosConfig(
+        profile="heavy",
+        node_crashes=3, node_crash_duration=45 * MINUTE,
+        naming_outages=2, naming_outage_duration=15 * MINUTE,
+        naming_stale_windows=3, naming_stale_duration=30 * MINUTE,
+        rpc_loss_windows=3, rpc_loss_duration=15 * MINUTE,
+        rpc_latency_windows=2, rpc_latency_duration=15 * MINUTE,
+        control_plane_outages=2, control_plane_outage_duration=10 * MINUTE,
+        pm_stalls=1, pm_stall_duration=120 * MINUTE,
+    ),
+}
+
+
+def chaos_profile(name: str) -> ChaosConfig:
+    """Look up a named chaos profile; raises on unknown names."""
+    config = CHAOS_PROFILES.get(name)
+    if config is None:
+        known = ", ".join(sorted(CHAOS_PROFILES))
+        raise ScenarioError(f"unknown chaos profile '{name}' (known: {known})")
+    return config
+
+
+def chaos_scenario(profile_name: str = "moderate",
+                   density: float = 1.1,
+                   days: float = 1.0,
+                   seed: int = DEFAULT_SCENARIO_SEED,
+                   plb_salt: int = 0,
+                   maintenance: bool = False) -> BenchmarkScenario:
+    """The paper scenario with a named fault-injection profile attached."""
+    return paper_scenario(density=density, days=days, seed=seed,
+                          plb_salt=plb_salt,
+                          maintenance=maintenance
+                          ).with_chaos(chaos_profile(profile_name))

@@ -66,18 +66,27 @@ class ServiceFabricCluster(ClusterView):
             via :meth:`NodeCapacities.scaled_cpu` by the caller).
         plb_rng: random stream for the PLB's annealing.
         use_annealing: False switches the PLB to greedy placement.
+        downtime_rng: dedicated stream for failover-downtime draws.
+            Defaults to ``plb_rng`` for backward compatibility; callers
+            that care about stream isolation (the tenant ring) pass the
+            named ``("failover", "downtime")`` substream so downtime
+            sampling never perturbs placement decisions.
     """
 
     def __init__(self, node_count: int, capacities: NodeCapacities,
                  plb_rng: np.random.Generator,
-                 use_annealing: bool = True) -> None:
+                 use_annealing: bool = True,
+                 downtime_rng: np.random.Generator = None) -> None:
         if node_count <= 0:
             raise FabricError(f"node_count must be positive, got {node_count}")
         self.nodes: List[Node] = [Node(node_id, capacities)
                                   for node_id in range(node_count)]
         self.naming = NamingService()
+        self._downtime_rng = downtime_rng if downtime_rng is not None \
+            else plb_rng
         self.plb = PlacementAndLoadBalancer(self.nodes, plb_rng,
-                                            use_annealing=use_annealing)
+                                            use_annealing=use_annealing,
+                                            downtime_rng=downtime_rng)
         self._services: Dict[str, ServiceRecord] = {}
         #: Per-metric totals are static after construction (the node
         #: list and every node's capacities never change), but they are
@@ -262,7 +271,7 @@ class ServiceFabricCluster(ClusterView):
             # Downtime semantics match a reactive failover: single
             # replica = reattach window, lost primary = promotion.
             downtime = failover_downtime(replica, record.replica_count,
-                                         self.plb._rng)
+                                         self._downtime_rng)
             node.detach(replica)
             if (role_at_failure is ReplicaRole.PRIMARY
                     and record.replica_count > 1):

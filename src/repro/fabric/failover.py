@@ -81,6 +81,12 @@ def failover_downtime(replica: Replica, replica_count: int,
     multi-replica services only the primary swap is visible. Planned
     (make-room) moves drain connections gracefully and cost seconds;
     reactive capacity failovers are abrupt.
+
+    ``rng`` must be a dedicated stream — in assembled rings the named
+    ``("failover", "downtime")`` substream of the run's
+    :class:`repro.rng.RngRegistry` — so downtime draws never perturb
+    placement decisions (see ``tests/test_failover_model.py`` for the
+    pinned draw-sequence regression).
     """
     if replica_count > 1 and not replica.is_primary:
         return 0.0

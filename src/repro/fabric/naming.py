@@ -17,7 +17,7 @@ the ablation benchmarks use to show the cost of persisted metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import NamingServiceError
 
@@ -26,6 +26,29 @@ from repro.errors import NamingServiceError
 class _Entry:
     value: Any
     version: int
+
+
+class NamingFaultGate:
+    """Hook points the fault-injection subsystem implements.
+
+    The Naming Service consults its (optional) gate before serving
+    each request: ``on_read``/``on_write`` may raise
+    :class:`repro.errors.NamingUnavailableError` to model an outage
+    that outlasted the caller's retry budget, and ``stale_view`` may
+    return a snapshot of the store taken at an earlier instant so
+    reads inside a stale-read window see old data. The default
+    implementation disturbs nothing.
+    """
+
+    def on_read(self, key: str) -> None:
+        """Called before a read is served; may raise."""
+
+    def on_write(self, key: str) -> None:
+        """Called before a write is applied; may raise."""
+
+    def stale_view(self) -> Optional[Dict[str, _Entry]]:
+        """Entries to serve reads from instead of the live store."""
+        return None
 
 
 class NamingService:
@@ -42,9 +65,27 @@ class NamingService:
         self._version_counters: Dict[str, int] = {}
         self.reads = 0
         self.writes = 0
+        #: Optional fault-injection gate (see :class:`NamingFaultGate`).
+        self.fault_gate: Optional[NamingFaultGate] = None
+
+    def _read_entries(self, key: str) -> Dict[str, _Entry]:
+        """The entry map to serve a read from, after gating."""
+        if self.fault_gate is not None:
+            self.fault_gate.on_read(key)
+            stale = self.fault_gate.stale_view()
+            if stale is not None:
+                return stale
+        return self._entries
+
+    def snapshot(self) -> Dict[str, _Entry]:
+        """Point-in-time copy of the store (for stale-read windows)."""
+        return {key: _Entry(value=entry.value, version=entry.version)
+                for key, entry in self._entries.items()}
 
     def put(self, key: str, value: Any) -> int:
         """Store ``value`` under ``key``; returns the new version."""
+        if self.fault_gate is not None:
+            self.fault_gate.on_write(key)
         self.writes += 1
         version = self._version_counters.get(key, 0) + 1
         self._version_counters[key] = version
@@ -59,7 +100,7 @@ class NamingService:
     def get(self, key: str) -> Any:
         """Return the value for ``key``; raises if absent."""
         self.reads += 1
-        entry = self._entries.get(key)
+        entry = self._read_entries(key).get(key)
         if entry is None:
             raise NamingServiceError(f"key '{key}' not found")
         return entry.value
@@ -67,12 +108,17 @@ class NamingService:
     def get_or_default(self, key: str, default: Any = None) -> Any:
         """Return the value for ``key`` or ``default`` when absent."""
         self.reads += 1
-        entry = self._entries.get(key)
+        entry = self._read_entries(key).get(key)
         return default if entry is None else entry.value
 
     def version(self, key: str) -> int:
-        """Version counter for ``key`` (0 when absent)."""
-        entry = self._entries.get(key)
+        """Version counter for ``key`` (0 when absent).
+
+        Gated like a read: during a stale window the version comes from
+        the snapshot, so a refresher comparing versions and then
+        fetching the blob sees one consistent (old) view.
+        """
+        entry = self._read_entries(key).get(key)
         return 0 if entry is None else entry.version
 
     def exists(self, key: str) -> bool:

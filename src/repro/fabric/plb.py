@@ -62,15 +62,21 @@ class PlacementAndLoadBalancer:
         use_annealing: when False, placement is purely greedy
             (best-fit); this is the ablation mode.
         anneal_iterations: annealing budget per placement decision.
+        downtime_rng: dedicated stream for failover-downtime draws;
+            defaults to ``rng``. Separating the two keeps the annealing
+            draw sequence — and therefore every placement — unchanged
+            no matter how many downtime samples a run takes.
     """
 
     def __init__(self, nodes: Sequence[Node], rng: np.random.Generator,
                  use_annealing: bool = True,
                  anneal_iterations: int = 80,
                  cpu_weight: float = 1.0,
-                 disk_weight: float = 0.05) -> None:
+                 disk_weight: float = 0.05,
+                 downtime_rng: np.random.Generator = None) -> None:
         self._nodes = list(nodes)
         self._rng = rng
+        self._downtime_rng = downtime_rng if downtime_rng is not None else rng
         self.use_annealing = use_annealing
         self.anneal_iterations = anneal_iterations
         #: Placement-energy weights. CPU (the reservation metric) is
@@ -323,7 +329,8 @@ class PlacementAndLoadBalancer:
               reason: str = REASON_CAPACITY_VIOLATION) -> FailoverRecord:
         """Execute the move and produce its record."""
         replica_count = cluster.replica_count_of(replica.service_id)
-        downtime = failover_downtime(replica, replica_count, self._rng,
+        downtime = failover_downtime(replica, replica_count,
+                                     self._downtime_rng,
                                      planned=reason == REASON_MAKE_ROOM)
         rebuild = rebuild_seconds(replica.load(DISK_GB), replica_count)
         role_at_move = replica.role

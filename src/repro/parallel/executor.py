@@ -112,6 +112,25 @@ class SweepExecutor:
             return False
         return True
 
+    @staticmethod
+    def _normalize(result: BenchmarkResult) -> BenchmarkResult:
+        """Mirror the pool's pickle round trip on the serial path.
+
+        Worker results cross a process boundary, which replaces any
+        objects shared *across* results (interned strings, cached model
+        documents) with per-result copies. A serial run must produce
+        the same object graph, or pickling a result list would encode
+        the sharing through pickle's memo and break the byte-identical
+        serial/parallel contract. Unpicklable results (only possible on
+        the serial-fallback path) are returned as-is.
+        """
+        try:
+            return pickle.loads(pickle.dumps(
+                result, protocol=pickle.HIGHEST_PROTOCOL))
+        except (pickle.PickleError, TypeError, AttributeError,
+                NotImplementedError, ValueError, EOFError, RecursionError):
+            return result
+
     def _report(self, completed: int, total: int, name: str,
                 parallel: bool) -> None:
         if self.progress is not None:
@@ -131,7 +150,7 @@ class SweepExecutor:
         for index, scenario in enumerate(scenarios):
             if index in results:
                 continue
-            results[index] = _execute(scenario)
+            results[index] = self._normalize(_execute(scenario))
             self._report(len(results), total, scenario.name, parallel=False)
         return [results[index] for index in range(total)]
 

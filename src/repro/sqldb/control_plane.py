@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import (
     AdmissionRejected,
     PlacementError,
+    RetryBudgetExceeded,
     UnknownDatabaseError,
 )
 from repro.fabric.cluster import ServiceFabricCluster
@@ -56,7 +57,13 @@ class ControlPlane:
         self.drops_executed = 0
         self._creation_listeners: List[Callable[[DatabaseInstance], None]] = []
         self._drop_listeners: List[Callable[[DatabaseInstance], None]] = []
+        #: Optional fault injector gating create/drop calls.
+        self.chaos = None
         cluster.add_failover_listener(self._on_failover)
+
+    def attach_chaos(self, chaos) -> None:
+        """Install a fault injector on the create/drop paths."""
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     # Queries
@@ -109,6 +116,20 @@ class ControlPlane:
         slo = get_slo(slo_name)
         required_cores = slo.total_reserved_cores
         free_cores = self._cluster.free_capacity(CPU_CORES)
+        if self.chaos is not None:
+            try:
+                self.chaos.control_plane_gate("create", now)
+            except RetryBudgetExceeded as exc:
+                # The create API stayed unreachable past the retry
+                # budget; the request is redirected to another ring
+                # exactly like a capacity rejection (§5.3.1 semantics).
+                self._record_redirect(now, slo, free_cores,
+                                      reason="chaos-create-timeout")
+                raise AdmissionRejected(
+                    f"create of {slo_name} timed out against the "
+                    "control plane",
+                    required_cores=required_cores,
+                    free_cores=int(free_cores)) from exc
         if free_cores < required_cores:
             self._record_redirect(now, slo, free_cores,
                                   reason="insufficient-cluster-cores")
@@ -150,8 +171,15 @@ class ControlPlane:
         return database
 
     def drop_database(self, db_id: str, now: int) -> DatabaseInstance:
-        """Drop an active database and release its capacity."""
+        """Drop an active database and release its capacity.
+
+        Raises :class:`repro.errors.RetryBudgetExceeded` when an
+        injected control-plane outage outlasts the retry budget; the
+        database stays active and the caller retries the drop later.
+        """
         database = self.database(db_id)
+        if self.chaos is not None:
+            self.chaos.control_plane_gate("drop", now)
         record = self._cluster.service(db_id)
         dropped_replica_ids = [r.replica_id for r in record.replicas]
         database.mark_dropped(now)

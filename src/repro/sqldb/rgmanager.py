@@ -29,6 +29,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.model_base import ModelContext, ResourceModel, TotoModelSet
+from repro.errors import NamingUnavailableError
 from repro.fabric.metrics import CPU_USED_CORES, DISK_GB, MEMORY_GB
 from repro.fabric.naming import NamingService
 from repro.fabric.replica import Replica
@@ -44,6 +45,12 @@ DYNAMIC_METRICS = (DISK_GB, MEMORY_GB)
 def persisted_load_key(db_id: str, metric: str) -> str:
     """Naming-Service key under which a persisted load is stored."""
     return f"toto/load/{db_id}/{metric}"
+
+
+#: Prefix distinguishing the node-local last-known-good mirror of a
+#: *persisted* metric from ordinary non-persisted memory entries in
+#: the same ``(replica_id, metric-key)`` map.
+_MIRROR_PREFIX = "lkg:"
 
 
 class RgManager:
@@ -80,6 +87,10 @@ class RgManager:
         self.governor: Optional[CpuGovernor] = None
         self._cpu_usage_raw: Dict[int, float] = {}
         self.cpu_usage_governed: Dict[int, float] = {}
+        #: Metric-report RPCs answered from node-local last-known-good
+        #: state because the Naming Service stayed unreachable past the
+        #: retry budget.
+        self.naming_degraded = 0
         #: Per-metric stream handles. The registry already memoizes by
         #: spawn key, but deriving that key hashes the name path — too
         #: hot for a lookup that happens on every metric-report RPC.
@@ -202,19 +213,55 @@ class RgManager:
         back to the Naming Service; secondaries report whatever is
         stored, guaranteeing a newly promoted primary resumes from the
         previous primary's load.
+
+        Graceful degradation: when the Naming Service stays unreachable
+        past the retry budget (an injected outage), the node falls back
+        to its last-known-good mirror of the persisted value and keeps
+        reporting — losing durability for the window, never the run.
         """
         key = persisted_load_key(database.db_id, metric)
-        previous = self.naming.get_or_default(key)
+        mirror_key = (replica.replica_id, _MIRROR_PREFIX + metric)
+        try:
+            previous = self.naming.get_or_default(key)
+        except NamingUnavailableError:
+            self.naming_degraded += 1
+            return self._degraded_persisted_value(
+                model, replica, database, now, interval_seconds, metric,
+                mirror_key)
         context = self._context(replica, database, now, interval_seconds,
                                 previous, metric)
         if replica.is_primary:
             value = model.next_value(context)
-            self.naming.put(key, value)
+            try:
+                self.naming.put(key, value)
+            except NamingUnavailableError:
+                # Outage began between the read and the write-back; the
+                # value still stands, it is just not durable yet.
+                self.naming_degraded += 1
+            self._memory[mirror_key] = value
             return value
         if previous is None:
             # No primary has reported yet (e.g. secondary reports first
             # in the very first round): fall back to the model's initial
             # value without persisting it — the primary owns the write.
+            return model.initial_value(context)
+        self._memory[mirror_key] = float(previous)
+        return float(previous)
+
+    def _degraded_persisted_value(self, model: ResourceModel,
+                                  replica: Replica,
+                                  database: DatabaseInstance, now: int,
+                                  interval_seconds: int, metric: str,
+                                  mirror_key: tuple) -> float:
+        """Persisted path while the metastore is unreachable."""
+        previous = self._memory.get(mirror_key)
+        context = self._context(replica, database, now, interval_seconds,
+                                previous, metric)
+        if replica.is_primary:
+            value = model.next_value(context)
+            self._memory[mirror_key] = value
+            return value
+        if previous is None:
             return model.initial_value(context)
         return float(previous)
 

@@ -74,6 +74,7 @@ class TenantRing:
             capacities=config.node_capacities,
             plb_rng=rng_registry.stream(plb_rng_name),
             use_annealing=config.use_annealing,
+            downtime_rng=rng_registry.stream("failover", "downtime"),
         )
         self.control_plane = ControlPlane(self.cluster)
         self.rgmanagers: List[RgManager] = [
@@ -93,6 +94,9 @@ class TenantRing:
             label="replica-report-sweep")
         self._maintenance: Optional[PeriodicProcess] = None
         self.report_sweeps = 0
+        #: Optional fault injector (set by its ``install()``); gates the
+        #: metric-report RPCs and feeds the telemetry chaos counters.
+        self.chaos = None
 
         self.cluster.add_failover_listener(self._on_failover)
         self.control_plane.add_drop_listener(self._on_drop)
@@ -139,6 +143,9 @@ class TenantRing:
                 node = self.cluster.node(replica.node_id)
                 if node.in_maintenance:
                     continue  # node is restarting; report skipped
+                if self.chaos is not None and \
+                        not self.chaos.rpc_gate(replica.node_id, now):
+                    continue  # metric-report RPC lost to injected fault
                 rgmanager = self.rgmanagers[replica.node_id]
                 loads = rgmanager.get_metric_loads(
                     replica, database, now, interval)

@@ -41,6 +41,10 @@ class TelemetryFrame:
     nodes_in_maintenance: int
     node_cores: Tuple[float, ...]
     node_disk_gb: Tuple[float, ...]
+    #: Fault-injection counters (cumulative; 0 for chaos-free runs).
+    faults_injected_cumulative: int = 0
+    chaos_retries_cumulative: int = 0
+    degraded_intervals_cumulative: int = 0
 
     @property
     def active_total(self) -> int:
@@ -103,6 +107,7 @@ class TelemetryCollector:
             if database.edition is Edition.PREMIUM_BC:
                 bc_cores += record.cores_moved
 
+        chaos = self._ring.chaos
         start = self._start_time if self._start_time is not None else now
         self.frames.append(TelemetryFrame(
             time=now,
@@ -120,6 +125,12 @@ class TelemetryCollector:
             nodes_in_maintenance=maintenance_count,
             node_cores=tuple(n.load(CPU_CORES) for n in cluster.nodes),
             node_disk_gb=tuple(n.load(DISK_GB) for n in cluster.nodes),
+            faults_injected_cumulative=(
+                0 if chaos is None else chaos.telemetry.faults_injected),
+            chaos_retries_cumulative=(
+                0 if chaos is None else chaos.telemetry.retries),
+            degraded_intervals_cumulative=(
+                0 if chaos is None else chaos.telemetry.degraded_intervals),
         ))
 
     # ------------------------------------------------------------------

@@ -9,8 +9,9 @@ adjusted-revenue calculation (Figure 14).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from repro.chaos.injector import ChaosKpis
 from repro.errors import UnknownDatabaseError
 from repro.fabric.failover import FailoverRecord
 from repro.sqldb.control_plane import ControlPlane
@@ -78,3 +79,5 @@ class RunKpis:
     creation_redirects: int
     active_databases: int
     failovers: FailoverKpis
+    #: Fault-injection counters; None for runs without a chaos profile.
+    chaos: Optional[ChaosKpis] = None

@@ -40,6 +40,7 @@ SIMKERNEL = "src/repro/simkernel/fixture.py"
 FABRIC = "src/repro/fabric/fixture.py"
 CORE = "src/repro/core/fixture.py"
 STATS = "src/repro/stats/fixture.py"
+CHAOS = "src/repro/chaos/fixture.py"
 
 
 def codes(report, path=None):
@@ -242,6 +243,42 @@ class TestTL008PublicAnnotations:
         assert "TL008" not in codes(report)
 
 
+class TestTL009ChaosNeverSleeps:
+    def test_fires_on_time_sleep(self):
+        report = lint_source("import time\n\n"
+                             "def wait():\n"
+                             "    time.sleep(5)\n", path=CHAOS)
+        assert "TL009" in codes(report)
+
+    def test_fires_on_bare_sleep(self):
+        report = lint_source("from time import sleep\n\n"
+                             "def wait():\n"
+                             "    sleep(1)\n", path=CHAOS)
+        assert "TL009" in codes(report)
+
+    def test_fires_on_unbounded_while_retry(self):
+        report = lint_source("def retry(op):\n"
+                             "    while True:\n"
+                             "        op()\n", path=CHAOS)
+        assert codes(report) == ["TL009"]
+
+    def test_bounded_for_loop_and_breaking_while_pass(self):
+        report = lint_source(
+            "def retry(policy, op):\n"
+            "    for attempt in range(policy.max_retries):\n"
+            "        op()\n"
+            "    while True:\n"
+            "        if op():\n"
+            "            break\n", path=CHAOS)
+        assert "TL009" not in codes(report)
+
+    def test_out_of_scope_package_is_not_checked(self):
+        report = lint_source("import time\n\n"
+                             "def wait():\n"
+                             "    time.sleep(5)\n", path=STATS)
+        assert "TL009" not in codes(report)
+
+
 class TestSuppression:
     BAD_LINE = "def stamp():\n    import time\n    return time.time()"
 
@@ -280,7 +317,7 @@ class TestEngine:
 
     def test_catalogue_is_complete(self):
         assert [rule.code for rule in all_rules()] == [
-            f"TL00{n}" for n in range(1, 9)]
+            f"TL00{n}" for n in range(1, 10)]
         for rule in all_rules():
             assert rule.title and rule.rationale
 

@@ -13,11 +13,18 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import FaultInjector, FaultKind, FaultSchedule, FaultSpec
+from repro.chaos.faults import NODE_TARGETED_KINDS
+from repro.core.population_manager import PopulationManager
 from repro.experiments.scenarios import paper_scenario
 from repro.parallel import SweepExecutor
+from repro.rng import RngRegistry
+from repro.simkernel import SimulationKernel
+from repro.units import HOUR
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -95,6 +102,76 @@ def run_in_fresh_interpreter(import_order, seed):
         check=False)
     assert proc.returncode == 0, proc.stderr
     return proc.stdout.strip()
+
+
+_HORIZON = 4 * HOUR
+_NODE_COUNT = 4
+
+
+@st.composite
+def fault_specs(draw):
+    kind = draw(st.sampled_from(sorted(FaultKind, key=lambda k: k.value)))
+    target = None
+    if kind in NODE_TARGETED_KINDS:
+        target = draw(st.one_of(
+            st.none(), st.integers(min_value=0,
+                                   max_value=_NODE_COUNT - 1)))
+    return FaultSpec(
+        kind=kind,
+        at=draw(st.integers(min_value=0, max_value=_HORIZON)),
+        duration=draw(st.integers(min_value=30, max_value=2 * HOUR)),
+        target=target)
+
+
+@pytest.mark.chaos
+class TestChaosScheduleProperty:
+    """Safety properties that hold for *arbitrary* valid fault schedules,
+    not just the curated profiles: the kernel always reaches the end of
+    the run, no database is ever lost (only deferred), and the virtual
+    retry walk respects the backoff budget."""
+
+    @given(specs=st.lists(fault_specs(), max_size=8),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_never_deadlocks_never_loses_databases(self, specs, seed):
+        from tests.conftest import make_flat_population, make_ring
+
+        kernel = SimulationKernel()
+        registry = RngRegistry(seed)
+        ring = make_ring(kernel, registry, node_count=_NODE_COUNT)
+        manager = PopulationManager(
+            kernel=kernel, control_plane=ring.control_plane,
+            models=make_flat_population(creates_per_hour=2.0,
+                                        drops_per_hour=1.0),
+            rng=registry.stream("population-manager"))
+        injector = FaultInjector(kernel, ring,
+                                 FaultSchedule(specs=tuple(specs)),
+                                 registry,
+                                 population_manager=manager)
+        injector.install()
+        ring.start()
+        manager.start()
+        injector.start()
+        # Run past the horizon far enough that every fault window —
+        # including one opening at the horizon itself — has closed.
+        end = _HORIZON + 2 * HOUR + 60
+        kernel.run_until(end)
+        injector.finish()
+
+        # No deadlock: virtual time reached the end of the run.
+        assert kernel.now == end
+        # No lost databases: every create is active until a drop
+        # *executes*; a deferred drop leaves the database active.
+        control_plane = ring.control_plane
+        assert control_plane.creates_succeeded \
+            - control_plane.drops_executed == control_plane.active_count()
+        # Every injected fault eventually cleared its node.
+        telemetry = injector.telemetry
+        assert telemetry.node_restores == telemetry.node_crashes_applied
+        # Retries are bounded by the backoff budget per probe.
+        assert telemetry.retries \
+            <= telemetry.probes * injector.backoff.max_retries
+        ring.cluster.validate_invariants()
 
 
 class TestImportOrderInvariance:

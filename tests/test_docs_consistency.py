@@ -15,6 +15,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 README = (REPO / "README.md").read_text()
 DESIGN = (REPO / "DESIGN.md").read_text()
 EXPERIMENTS = (REPO / "EXPERIMENTS.md").read_text()
+CHAOS_DOC = (REPO / "docs" / "CHAOS.md").read_text()
 
 
 class TestExamples:
@@ -59,6 +60,34 @@ class TestBenchmarks:
                    for match in re.findall(r"(fig\d+|table\d+)",
                                            path.name)}
         assert expected <= present
+
+
+class TestChaosDoc:
+    def test_readme_and_experiments_cover_chaos(self):
+        assert "docs/CHAOS.md" in README
+        assert "--chaos" in README
+        assert "--chaos" in EXPERIMENTS
+
+    def test_every_fault_kind_documented(self):
+        from repro.chaos import FaultKind
+        for kind in FaultKind:
+            assert f"`{kind.value}`" in CHAOS_DOC, \
+                f"docs/CHAOS.md does not document fault kind {kind.value}"
+
+    def test_documented_profiles_match_code(self):
+        from repro.experiments.scenarios import CHAOS_PROFILES
+        for name in CHAOS_PROFILES:
+            assert f"`{name}`" in CHAOS_DOC, \
+                f"docs/CHAOS.md does not mention profile {name}"
+
+    def test_chaos_telemetry_counters_documented(self):
+        for counter in ("faults_injected", "retries", "degraded_intervals"):
+            assert counter in CHAOS_DOC
+
+    def test_static_analysis_doc_covers_tl009(self):
+        doc = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+        assert "TL009" in doc
+        assert "repro.chaos" in doc
 
 
 class TestDesignIndex:

@@ -60,6 +60,34 @@ class TestDowntime:
             min(GP_FAILOVER_DOWNTIME_RANGE)
 
 
+class TestDowntimeStreamIsolation:
+    """Downtime draws come from the named ``("failover", "downtime")``
+    substream (see ServiceFabricCluster), so adding or removing PLB
+    annealing draws can never shift which downtime a failover gets."""
+
+    def test_named_substream_draw_sequence_pinned(self):
+        """Regression pin: the exact draws the stream yields. A change
+        here means the downtime model consumed the stream differently
+        — which silently re-times every failover in every golden run."""
+        from repro.rng import RngRegistry
+        rng = RngRegistry(42).stream("failover", "downtime")
+        draws = [failover_downtime(make_replica(), 1, rng),
+                 failover_downtime(make_replica(), 4, rng),
+                 failover_downtime(make_replica(ReplicaRole.SECONDARY),
+                                   4, rng),
+                 failover_downtime(make_replica(), 1, rng, planned=True),
+                 failover_downtime(make_replica(), 1, rng)]
+        assert draws == [71.26572532577319, 16.761609517853973, 0.0,
+                         3.324480812502003, 48.77008953908852]
+
+    def test_ring_wires_downtime_stream_separately_from_plb(self, kernel,
+                                                            rng_registry):
+        from tests.conftest import make_ring
+        ring = make_ring(kernel, rng_registry)
+        cluster = ring.cluster
+        assert cluster._downtime_rng is not cluster.plb._rng
+
+
 class TestRebuild:
     def test_remote_store_no_rebuild(self):
         assert rebuild_seconds(500.0, 1) == 0.0
