@@ -13,7 +13,9 @@ current state instead of guessing:
 * ``single_run`` — events/sec of one full benchmark run (models, PLB,
   telemetry included), the number that dominates every study;
 * ``sweep`` — wall-clock of the 4-density x N-seed sweep at
-  ``workers=1`` vs ``workers=4`` and the resulting speedup.
+  ``workers=1`` vs ``workers=4`` and the resulting speedup;
+* ``lint`` — cold vs. content-hash-cached whole-program analysis of
+  ``src/repro`` (``benchmarks/bench_lint.py``).
 
 The JSON lands in the repo root as ``BENCH_perf.json``; commit it so
 the trajectory is versioned alongside the code it measures.
@@ -31,6 +33,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
+from benchmarks.bench_lint import bench_lint  # noqa: E402
 from benchmarks.bench_perf_kernel import pump_kernel  # noqa: E402
 from repro import __version__  # noqa: E402
 from repro.core.runner import run_scenario  # noqa: E402
@@ -115,6 +118,11 @@ def main(argv=None) -> int:
           f"{sweep['parallel_seconds']}s -> {sweep['speedup']}x "
           f"({sweep['mode']})")
 
+    print("whole-program lint, cold vs cached ...", flush=True)
+    lint = bench_lint(repeats=1 if args.quick else 3)
+    print(f"  cold {lint['cold_seconds']}s, cached "
+          f"{lint['cached_seconds']}s -> {lint['cache_speedup']}x")
+
     payload = {
         "version": __version__,
         "quick": args.quick,
@@ -126,6 +134,7 @@ def main(argv=None) -> int:
         "kernel_events_per_sec": round(kernel["events_per_sec"]),
         "single_run": single,
         "sweep": sweep,
+        "lint": lint,
     }
     pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

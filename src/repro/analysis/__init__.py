@@ -1,27 +1,40 @@
-"""Determinism & correctness static analysis (``totolint``).
+"""Determinism & correctness analysis (``totolint`` + DetSan).
 
 The benchmark's headline promise — a parallel sweep reproduces the
 serial loop *byte for byte* — only holds while no code path consults
 wall-clock time, global RNG state, interpreter identity, or unordered
 collection iteration on the event path.  This package machine-checks
-that determinism contract: an AST lint engine (:mod:`.engine`) walks
-every module under ``src/repro/`` and applies the repo-specific rules
-registered in :mod:`.rules` (TL001..TL009).
+that determinism contract from both sides:
+
+* **Statically** — an AST lint engine (:mod:`.engine`) walks every
+  module under ``src/repro/`` and applies the repo-specific rules
+  registered in :mod:`.rules` (TL001..TL013).  A whole-program pass
+  (:mod:`.graph`) builds the import/call graph, infers the hot set
+  reachable from simkernel event handlers and chaos gates, and derives
+  the RNG substream registry (:mod:`.registry`) behind the TL010..TL012
+  rules.  Findings can be ratcheted via :mod:`.baseline` and exported
+  as SARIF (:mod:`.sarif`).
+* **At runtime** — the DetSan sanitizer (:mod:`.detsan`) replays a
+  scenario twice, fingerprints every RNG draw and event scheduling,
+  and cross-checks each observed stream acquisition against the static
+  registry (``repro run --detsan``).
 
 Entry points:
 
 * ``repro-toto lint`` — the CLI subcommand (see :mod:`repro.cli`).
 * ``tools/totolint.py`` — the CI wrapper with stable exit codes.
 * :func:`lint_paths` / :func:`lint_source` — the library API tests use.
+* :func:`~repro.analysis.detsan.verify_run` — the DetSan library API.
 
 Exit codes (stable; CI and pre-commit hooks rely on them):
 
 * ``0`` — no violations,
-* ``1`` — one or more violations,
+* ``1`` — one or more violations (or stale baseline entries),
 * ``2`` — internal error (unreadable path, unparseable file, bad rule
-  selection).
+  selection, malformed baseline).
 """
 
+from repro.analysis.baseline import Baseline, BaselineResult
 from repro.analysis.engine import (
     LintReport,
     ModuleContext,
@@ -29,16 +42,26 @@ from repro.analysis.engine import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.graph import DrawSite, ProgramGraph
+from repro.analysis.registry import RegistryEntry, SubstreamRegistry
 from repro.analysis.report import format_json, format_text
 from repro.analysis.rules import Rule, all_rules, get_rules
+from repro.analysis.sarif import format_sarif
 
 __all__ = [
+    "Baseline",
+    "BaselineResult",
+    "DrawSite",
     "LintReport",
     "ModuleContext",
+    "ProgramGraph",
+    "RegistryEntry",
     "Rule",
+    "SubstreamRegistry",
     "Violation",
     "all_rules",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rules",
     "lint_paths",

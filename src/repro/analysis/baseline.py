@@ -1,0 +1,121 @@
+"""Baseline ("ratchet") support for the lint engine.
+
+A baseline file records the violations a repository has *agreed to
+live with*, so `repro-toto lint` can gate CI on "no new findings"
+while the old ones are burned down.  The ratchet only turns one way:
+
+* a violation matching a baseline entry is **suppressed** (counted in
+  ``LintReport.baselined``);
+* a violation with no entry **fails** the run as usual;
+* a baseline entry that no longer matches anything is **stale** and is
+  itself reported (mirroring the TL013 unused-suppression audit) — the
+  file must be regenerated with ``--write-baseline`` to shrink it.
+
+Entries are keyed by ``(rule, path, message)`` with a count, *not* by
+line number, so unrelated edits that shift code do not invalidate the
+baseline while a genuinely new instance of an old finding still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import LintEngineError, Violation
+
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(violation: Violation) -> _Key:
+    return (violation.rule, violation.path, violation.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a violation list."""
+
+    #: Violations not covered by the baseline (these fail the run).
+    new: List[Violation]
+    #: Number of violations absorbed by the baseline.
+    baselined: int
+    #: Human-readable descriptions of stale (unmatched) entries.
+    stale: List[str]
+
+
+class Baseline:
+    """An accepted-violations ledger keyed by (rule, path, message)."""
+
+    def __init__(self, counts: Dict[_Key, int]) -> None:
+        self._counts = dict(counts)
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation]) -> "Baseline":
+        counts: Dict[_Key, int] = {}
+        for violation in violations:
+            key = _key(violation)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise LintEngineError(f"cannot read baseline {path}: "
+                                  f"{exc.strerror or exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintEngineError(
+                f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise LintEngineError(
+                f"baseline {path} is missing the 'entries' list")
+        counts: Dict[_Key, int] = {}
+        for entry in payload["entries"]:
+            try:
+                key = (str(entry["rule"]), str(entry["path"]),
+                       str(entry["message"]))
+                counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise LintEngineError(
+                    f"baseline {path} has a malformed entry: "
+                    f"{entry!r}") from exc
+        return cls(counts)
+
+    def write(self, path: str) -> None:
+        entries = [
+            {"rule": rule, "path": file_path, "message": message,
+             "count": count}
+            for (rule, file_path, message), count
+            in sorted(self._counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(self, violations: List[Violation]) -> BaselineResult:
+        """Split violations into new vs. baselined; report stale entries."""
+        remaining = dict(self._counts)
+        new: List[Violation] = []
+        baselined = 0
+        for violation in violations:
+            key = _key(violation)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(violation)
+        stale = [
+            f"{rule} {file_path}: {message!r} (x{count})"
+            for (rule, file_path, message), count
+            in sorted(remaining.items()) if count > 0
+        ]
+        return BaselineResult(new=new, baselined=baselined, stale=stale)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

@@ -6,23 +6,26 @@ CI and pre-commit hooks.
 
 Exit codes are part of the contract and must stay stable:
 
-* ``0`` — lint ran and found nothing,
-* ``1`` — lint ran and found violations,
+* ``0`` — lint ran and found nothing (beyond the baseline),
+* ``1`` — lint ran and found violations (or stale baseline entries),
 * ``2`` — the tool itself failed (unknown rule, unreadable or
-  unparseable file, missing path).
+  unparseable file, missing path, malformed baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
 import repro
-from repro.analysis.engine import LintEngineError, lint_paths
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintEngineError, LintReport, lint_paths
 from repro.analysis.report import format_json, format_text
 from repro.analysis.rules import all_rules, get_rules
+from repro.analysis.sarif import format_sarif
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
@@ -40,11 +43,30 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", type=Path,
         help="files or directories to lint (default: the repro package)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report style; json is the stable CI schema")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report style; json is the stable CI schema, sarif is "
+             "SARIF 2.1.0 for code-scanning upload")
+    parser.add_argument(
+        "--sarif", action="store_true",
+        help="shorthand for --format sarif")
     parser.add_argument(
         "--rules", default=None, metavar="TL001,TL002",
         help="comma-separated rule subset (default: all rules)")
+    parser.add_argument(
+        "--baseline", default=None, type=Path, metavar="FILE",
+        help="ratchet file of accepted findings; matching violations "
+             "are suppressed, stale entries fail the run")
+    parser.add_argument(
+        "--write-baseline", default=None, type=Path, metavar="FILE",
+        help="write the current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--cache", default=None, type=Path, metavar="FILE",
+        help="content-hash extract cache for the whole-program pass "
+             "(speeds up repeat runs; safe to delete)")
+    parser.add_argument(
+        "--no-program", action="store_true",
+        help="skip the whole-program pass (call graph, substream "
+             "registry, TL010..TL013)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit 0")
@@ -52,22 +74,44 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_lint(paths: Sequence[Path], output_format: str = "text",
              rules: Optional[str] = None, list_rules: bool = False,
+             sarif: bool = False,
+             baseline: Optional[Path] = None,
+             write_baseline: Optional[Path] = None,
+             cache: Optional[Path] = None,
+             no_program: bool = False,
              stdout: Optional[TextIO] = None,
              stderr: Optional[TextIO] = None) -> int:
     """Execute one lint run; returns the stable exit code."""
     out = stdout if stdout is not None else sys.stdout
     err = stderr if stderr is not None else sys.stderr
+    if sarif:
+        output_format = "sarif"
     if list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
-            print(f"{rule.code}  {rule.title}  [{scope}]", file=out)
+            kind = "program-wide" if rule.program_wide else scope
+            print(f"{rule.code}  {rule.title}  [{kind}]", file=out)
         return EXIT_CLEAN
     try:
         selected = get_rules(rules.split(",")) if rules else None
         report = lint_paths(list(paths) or [default_target()],
-                            rules=selected)
-        formatted = (format_json(report) if output_format == "json"
-                     else format_text(report))
+                            rules=selected,
+                            build_program=not no_program,
+                            cache_path=cache)
+        if write_baseline is not None:
+            Baseline.from_violations(list(report.violations)) \
+                .write(str(write_baseline))
+            print(f"totolint: wrote {len(report.violations)} finding(s) "
+                  f"to baseline {write_baseline}", file=out)
+            return EXIT_CLEAN
+        if baseline is not None:
+            result = Baseline.load(str(baseline)).apply(
+                list(report.violations))
+            report = dataclasses.replace(
+                report, violations=tuple(result.new),
+                baselined=result.baselined,
+                stale_baseline=tuple(result.stale))
+        formatted = _format(report, output_format)
     except LintEngineError as error:
         print(f"totolint: internal error: {error}", file=err)
         return EXIT_INTERNAL_ERROR
@@ -77,7 +121,21 @@ def run_lint(paths: Sequence[Path], output_format: str = "text",
         print(f"totolint: internal error: {error!r}", file=err)
         return EXIT_INTERNAL_ERROR
     print(formatted, file=out)
+    if report.stale_baseline:
+        for entry in report.stale_baseline:
+            print(f"totolint: stale baseline entry: {entry}", file=err)
+        print("totolint: regenerate with --write-baseline to shrink the "
+              "ratchet", file=err)
+        return EXIT_VIOLATIONS
     return report.exit_code
+
+
+def _format(report: LintReport, output_format: str) -> str:
+    if output_format == "json":
+        return format_json(report)
+    if output_format == "sarif":
+        return format_sarif(report)
+    return format_text(report)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,11 +143,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totolint",
         description="determinism & correctness linter for the Toto "
-                    "reproduction (rules TL001..TL009)")
+                    "reproduction (rules TL001..TL013)")
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
     return run_lint(paths=args.paths, output_format=args.format,
-                    rules=args.rules, list_rules=args.list_rules)
+                    rules=args.rules, list_rules=args.list_rules,
+                    sarif=args.sarif, baseline=args.baseline,
+                    write_baseline=args.write_baseline,
+                    cache=args.cache, no_program=args.no_program)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,12 @@ The engine is deliberately boring: parse each module once, hand the
 so output is stable no matter the traversal order.  All repo-specific
 knowledge lives in :mod:`repro.analysis.rules`.
 
+Two whole-program passes ride on top of the per-module rules when a
+:class:`~repro.analysis.graph.ProgramGraph` is in play (the default for
+``lint_paths``): program-wide rules (the RNG substream registry checks
+TL010..TL012) and the unused-suppression audit (TL013), which requires
+knowing every violation before deciding a suppression did nothing.
+
 Suppression syntax (checked per physical line of the flagged node)::
 
     value = lookup()        # totolint: disable=TL004
@@ -15,25 +21,45 @@ Suppression syntax (checked per physical line of the flagged node)::
 and per file, anywhere in the module (conventionally near the top)::
 
     # totolint: disable-file=TL007
+
+Suppression comments are located with the tokenizer, so the syntax
+shown inside a docstring (like the ones above) is not mistaken for a
+live suppression.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.graph import ProgramGraph
     from repro.analysis.rules import Rule
 
-#: ``# totolint: disable=TL001,TL002`` / ``disable=all`` on one line.
+#: One-line suppression: ``disable=TL001,TL002`` / ``disable=all``
+#: after the marker (spelled out in the module docstring above — not
+#: here, where the scanner would read it as live).
 _SUPPRESS_LINE = re.compile(
     r"#\s*totolint:\s*disable=([A-Za-z0-9_,\s]+)")
-#: ``# totolint: disable-file=TL007`` anywhere in the module.
+#: Whole-file suppression: ``disable-file=TL007`` anywhere.
 _SUPPRESS_FILE = re.compile(
     r"#\s*totolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+#: The unused-suppression audit code (implemented here, not in rules).
+AUDIT_RULE = "TL013"
 
 
 class LintEngineError(Exception):
@@ -43,6 +69,23 @@ class LintEngineError(Exception):
     code ``2`` so violations (exit ``1``) stay distinguishable from
     tooling breakage.
     """
+
+
+def read_source(path: Path) -> str:
+    """Read one target file; unreadable/undecodable input is exit-2.
+
+    Both failure modes are mapped to :class:`LintEngineError` so the
+    CLI reports a one-line diagnostic instead of a traceback: a file
+    the tool cannot open (permissions, vanished mid-run) and bytes
+    that are not UTF-8 (a committed binary, a latin-1 stray).
+    """
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintEngineError(f"cannot read {path}: {error}") from error
+    except UnicodeDecodeError as error:
+        raise LintEngineError(
+            f"cannot decode {path} as UTF-8: {error}") from error
 
 
 @dataclass(frozen=True, order=True)
@@ -62,34 +105,53 @@ class Violation:
 class ModuleContext:
     """Everything a rule needs to know about one parsed module."""
 
-    __slots__ = ("path", "module", "source", "tree",
-                 "_line_suppressions", "_file_suppressions")
+    __slots__ = ("path", "module", "source", "tree", "program",
+                 "_line_suppressions", "_file_suppressions",
+                 "_used_line", "_used_file")
 
     def __init__(self, path: str, module: str, source: str) -> None:
         self.path = path
         self.module = module
         self.source = source
+        #: Whole-program graph when linting a tree; None in
+        #: single-module (``lint_source``) runs.
+        self.program: Optional["ProgramGraph"] = None
         try:
             self.tree = ast.parse(source, filename=path)
         except SyntaxError as error:
             raise LintEngineError(
                 f"cannot parse {path}: {error}") from error
         self._line_suppressions: Dict[int, Set[str]] = {}
-        self._file_suppressions: Set[str] = set()
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            if "totolint" not in line:
-                continue
-            match = _SUPPRESS_LINE.search(line)
+        self._file_suppressions: Dict[str, int] = {}
+        self._used_line: Set[Tuple[int, str]] = set()
+        self._used_file: Set[str] = set()
+        for lineno, comment in self._comments(source, path):
+            match = _SUPPRESS_LINE.search(comment)
             if match:
                 codes = {token.strip().upper()
                          for token in match.group(1).split(",")
                          if token.strip()}
                 self._line_suppressions.setdefault(lineno, set()).update(codes)
-            match = _SUPPRESS_FILE.search(line)
+            match = _SUPPRESS_FILE.search(comment)
             if match:
-                self._file_suppressions.update(
-                    token.strip().upper()
-                    for token in match.group(1).split(",") if token.strip())
+                for token in match.group(1).split(","):
+                    if token.strip():
+                        self._file_suppressions.setdefault(
+                            token.strip().upper(), lineno)
+
+    @staticmethod
+    def _comments(source: str, path: str) -> List[Tuple[int, str]]:
+        """(line, text) of every real comment token in the module."""
+        found = []
+        try:
+            for token in tokenize.generate_tokens(
+                    io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    found.append((token.start[0], token.string))
+        except tokenize.TokenError as error:
+            raise LintEngineError(
+                f"cannot tokenize {path}: {error}") from error
+        return found
 
     def in_package(self, *prefixes: str) -> bool:
         """True if the module lives under any of the dotted prefixes."""
@@ -99,9 +161,31 @@ class ModuleContext:
 
     def suppressed(self, rule: str, line: int) -> bool:
         codes = self._line_suppressions.get(line, ())
-        return (rule in codes or "ALL" in codes
-                or rule in self._file_suppressions
-                or "ALL" in self._file_suppressions)
+        if rule in codes:
+            self._used_line.add((line, rule))
+            return True
+        if "ALL" in codes:
+            self._used_line.add((line, "ALL"))
+            return True
+        if rule in self._file_suppressions:
+            self._used_file.add(rule)
+            return True
+        if "ALL" in self._file_suppressions:
+            self._used_file.add("ALL")
+            return True
+        return False
+
+    def unused_suppressions(self) -> List[Tuple[int, str]]:
+        """(line, code) of every suppression that suppressed nothing."""
+        unused = []
+        for line, codes in self._line_suppressions.items():
+            for code in codes:
+                if (line, code) not in self._used_line:
+                    unused.append((line, code))
+        for code, line in self._file_suppressions.items():
+            if code not in self._used_file:
+                unused.append((line, f"file:{code}"))
+        return sorted(unused)
 
     def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
         return Violation(path=self.path,
@@ -116,6 +200,14 @@ class LintReport:
 
     violations: Tuple[Violation, ...]
     files_checked: int
+    #: Whole-program statistics (zero when the graph pass was skipped).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    registry_size: int = 0
+    hot_functions: int = 0
+    #: Baseline bookkeeping (filled in by the CLI's ratchet pass).
+    baselined: int = 0
+    stale_baseline: Tuple[str, ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -164,38 +256,88 @@ def lint_source(source: str, path: str = "src/repro/example.py",
     """Lint an in-memory module as if it lived at ``path``.
 
     The virtual ``path`` decides which package-scoped rules apply, so
-    tests can exercise e.g. the simkernel-only rules on fixtures.
+    tests can exercise e.g. the simkernel-only rules on fixtures.  No
+    program graph is built: the whole-program rules stay silent and
+    TL003/TL004 fall back to their package-scope behaviour.
     """
     context = ModuleContext(path=path,
                             module=module_name_for(Path(path)),
                             source=source)
-    return LintReport(violations=_check_module(context, _resolve(rules)),
-                      files_checked=1)
+    active = _resolve(rules)
+    per_module, _ = _split_rules(_checking_rules(active))
+    violations = list(_check_module(context, per_module))
+    violations.extend(_audit_suppressions(context, active))
+    active_codes = {rule.code for rule in active}
+    return LintReport(
+        violations=tuple(sorted(v for v in violations
+                                if v.rule in active_codes)),
+        files_checked=1)
 
 
 def lint_paths(paths: Sequence[Path],
-               rules: Optional[Sequence["Rule"]] = None) -> LintReport:
-    """Lint every Python file under each path (file or directory)."""
+               rules: Optional[Sequence["Rule"]] = None,
+               build_program: bool = True,
+               cache_path: Optional[Path] = None) -> LintReport:
+    """Lint every Python file under each path (file or directory).
+
+    With ``build_program`` (the default) a
+    :class:`~repro.analysis.graph.ProgramGraph` over the same file set
+    feeds the whole-program rules (TL010..TL012), scopes TL003/TL004 to
+    the inferred hot set, and enables the TL013 suppression audit.
+    ``cache_path`` points at the content-hash extract cache for
+    incremental re-runs.
+    """
     active = _resolve(rules)
-    violations: List[Violation] = []
-    files_checked = 0
+    per_module, program_rules = _split_rules(_checking_rules(active))
+    contexts: List[ModuleContext] = []
     for root in paths:
         root = Path(root)
         if not root.exists():
             raise LintEngineError(f"no such file or directory: {root}")
         for file_path in iter_python_files(root):
-            try:
-                source = file_path.read_text(encoding="utf-8")
-            except OSError as error:
-                raise LintEngineError(
-                    f"cannot read {file_path}: {error}") from error
-            context = ModuleContext(path=str(file_path),
-                                    module=module_name_for(file_path),
-                                    source=source)
-            violations.extend(_check_module(context, active))
-            files_checked += 1
-    return LintReport(violations=tuple(sorted(violations)),
-                      files_checked=files_checked)
+            contexts.append(ModuleContext(
+                path=str(file_path), module=module_name_for(file_path),
+                source=read_source(file_path)))
+
+    program = None
+    cache_hits = cache_misses = registry_size = hot_count = 0
+    if build_program:
+        from repro.analysis.graph import ProgramGraph
+        program = ProgramGraph.build(paths, cache_path=cache_path)
+        cache_hits, cache_misses = program.cache_hits, program.cache_misses
+        hot_count = len(program.hot_functions())
+        for context in contexts:
+            if program.covers(context.path):
+                context.program = program
+
+    violations: List[Violation] = []
+    for context in contexts:
+        violations.extend(_check_module(context, per_module))
+
+    if program is not None and program_rules:
+        by_path = {context.path: context for context in contexts}
+        from repro.analysis.registry import SubstreamRegistry
+        registry = SubstreamRegistry(program)
+        registry_size = len(registry)
+        for rule in program_rules:
+            for violation in rule.check_program(registry):
+                context = by_path.get(violation.path)
+                if context is None \
+                        or not context.suppressed(violation.rule,
+                                                  violation.line):
+                    violations.append(violation)
+
+    for context in contexts:
+        violations.extend(_audit_suppressions(context, active))
+
+    active_codes = {rule.code for rule in active}
+    return LintReport(
+        violations=tuple(sorted(v for v in violations
+                                if v.rule in active_codes)),
+        files_checked=len(contexts),
+        cache_hits=cache_hits, cache_misses=cache_misses,
+        registry_size=registry_size,
+        hot_functions=hot_count)
 
 
 def _resolve(rules: Optional[Sequence["Rule"]]) -> Sequence["Rule"]:
@@ -205,13 +347,57 @@ def _resolve(rules: Optional[Sequence["Rule"]]) -> Sequence["Rule"]:
     return get_rules()
 
 
+def _checking_rules(active: Sequence["Rule"]) -> Sequence["Rule"]:
+    """The rules to actually *run* for a given selection.
+
+    The TL013 audit can only decide a suppression is unused after every
+    rule it might refer to has run, so selecting TL013 forces a
+    full-catalogue check; the report is still filtered back down to the
+    caller's selection afterwards.
+    """
+    if any(rule.code == AUDIT_RULE for rule in active):
+        from repro.analysis.rules import all_rules
+        return all_rules()
+    return active
+
+
+def _split_rules(rules: Sequence["Rule"]) \
+        -> Tuple[List["Rule"], List["Rule"]]:
+    """(per-module rules, program-wide rules)."""
+    per_module = [rule for rule in rules
+                  if not getattr(rule, "program_wide", False)]
+    program = [rule for rule in rules
+               if getattr(rule, "program_wide", False)]
+    return per_module, program
+
+
 def _check_module(context: ModuleContext,
                   rules: Sequence["Rule"]) -> Tuple[Violation, ...]:
     found: List[Violation] = []
     for rule in rules:
-        if not rule.applies_to(context):
+        if rule.code == AUDIT_RULE or not rule.applies_to(context):
             continue
         for violation in rule.check(context):
             if not context.suppressed(violation.rule, violation.line):
                 found.append(violation)
     return tuple(sorted(found))
+
+
+def _audit_suppressions(context: ModuleContext,
+                        active: Sequence["Rule"]) -> List[Violation]:
+    """TL013: every suppression must actually suppress something."""
+    if not any(rule.code == AUDIT_RULE for rule in active):
+        return []
+    violations = []
+    for line, code in context.unused_suppressions():
+        if code.startswith("file:"):
+            label = f"disable-file={code[len('file:'):]}"
+        else:
+            label = f"disable={code}"
+        violation = Violation(
+            path=context.path, line=line, col=0, rule=AUDIT_RULE,
+            message=f"unused suppression `# totolint: {label}`: nothing "
+                    "fires here any more; delete the stale comment")
+        if not context.suppressed(AUDIT_RULE, line):
+            violations.append(violation)
+    return violations

@@ -1,0 +1,486 @@
+"""Whole-program module/call-graph builder for the analyzer.
+
+Everything here is AST-only: no module under analysis is ever imported,
+so the analyzer can run against broken, partial, or hostile trees.  One
+:class:`ProgramGraph` covers every file handed to :meth:`ProgramGraph.build`
+and answers the two whole-program questions the rules need:
+
+* **RNG substream dataflow** — every ``.stream(...)`` /
+  ``.derive_seed(...)`` / ``.fork(...)`` call site, with its token path
+  (literal where auditable, declared via a ``# totolint: substream=``
+  annotation where dynamic) — the input to
+  :mod:`repro.analysis.registry`.
+* **Hot-path inference** — which functions are reachable from simkernel
+  event handlers (callbacks handed to ``schedule``/``schedule_after``/
+  ``PeriodicProcess``/listener registrations) and from the chaos gates.
+  Resolution is name-based and deliberately *over*-approximate: a
+  function is treated as hot whenever any same-named function is
+  reachable, because missing a hot function silences a determinism rule
+  while a false positive merely widens its coverage.
+
+Per-file extraction is cached by content hash (``--cache``): an
+unchanged file's extract is reused verbatim, so incremental re-runs of
+the whole-program passes skip the AST walk for everything but edited
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    LintEngineError,
+    iter_python_files,
+    module_name_for,
+    read_source,
+)
+
+#: Bump when the extract shape changes; stale caches are discarded.
+CACHE_VERSION = 1
+
+#: Methods that draw from (or derive seeds off) an RNG registry.
+DRAW_METHODS = frozenset({"stream", "derive_seed", "fork"})
+
+#: Call names whose function-valued arguments become hot roots:
+#: ``schedule(time, callback)``, ``schedule_after(delay, callback)``,
+#: ``PeriodicProcess(kernel, period, tick)``.
+_CALLBACK_SLOTS: Dict[str, Tuple[int, Tuple[str, ...]]] = {
+    "schedule": (1, ("callback",)),
+    "schedule_after": (1, ("callback",)),
+    "PeriodicProcess": (2, ("tick",)),
+}
+
+#: Listener-registration call names: every function-valued argument is
+#: a callback invoked later from the event path.
+_LISTENER_CALL = re.compile(r"^(add_\w*listener|attach\w*|register\w*)$")
+
+#: The chaos gate methods; they are consulted from inside event
+#: handlers, so any function they call is hot (see docs/CHAOS.md).
+CHAOS_GATES = frozenset({
+    "on_read", "on_write", "stale_view", "rpc_gate",
+    "control_plane_gate", "population_gate",
+})
+
+#: ``# totolint: substream=<pattern>`` — declares the substream name
+#: pattern for a draw site whose tokens are not all literal.
+_SUBSTREAM_ANNOTATION = re.compile(
+    r"#\s*totolint:\s*substream=([\w\-*?/\[\]!]+)")
+
+
+@dataclass(frozen=True)
+class DrawSite:
+    """One static RNG draw site (``registry.stream(...)`` and friends)."""
+
+    path: str
+    module: str
+    line: int
+    end_line: int
+    col: int
+    method: str
+    #: One entry per argument: the literal string for auditable tokens,
+    #: ``None`` for dynamic expressions.
+    tokens: Tuple[Optional[str], ...]
+    #: Dotted name of the enclosing function (``""`` at module level).
+    func: str
+    #: Declared ``substream=`` pattern for dynamic sites, or ``None``.
+    annotation: Optional[str]
+
+    @property
+    def literal_key(self) -> Optional[Tuple[str, ...]]:
+        """The ``"/"``-joinable token path when fully literal."""
+        if any(token is None for token in self.tokens):
+            return None
+        return tuple(token for token in self.tokens if token is not None)
+
+    @property
+    def pattern(self) -> Optional[str]:
+        """fnmatch pattern this site's runtime names must satisfy."""
+        if self.annotation is not None:
+            return self.annotation
+        key = self.literal_key
+        if key is None:
+            return None
+        return "/".join(key)
+
+    def where(self) -> str:
+        return f"{self.path}:{self.line} (in {self.func or '<module>'})"
+
+
+@dataclass
+class FunctionNode:
+    """One function/method with its outgoing name-level edges."""
+
+    qualname: str
+    name: str
+    start: int
+    end: int
+    #: Terminal names of everything this function calls.
+    calls: Tuple[str, ...]
+    #: Terminal names of functions referenced without being called
+    #: (address-taken: passed around, stored, returned).
+    refs: Tuple[str, ...]
+    #: Terminal names handed to schedule()/PeriodicProcess()/listener
+    #: registrations — these are hot *roots*.
+    callbacks: Tuple[str, ...]
+
+
+@dataclass
+class ModuleExtract:
+    """Everything the whole-program passes need from one module."""
+
+    path: str
+    module: str
+    functions: List[FunctionNode] = field(default_factory=list)
+    draws: List[DrawSite] = field(default_factory=list)
+    #: Lines reading ``.root_seed`` (TL011 input).
+    root_seed_reads: List[int] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "functions": [
+                [f.qualname, f.name, f.start, f.end,
+                 list(f.calls), list(f.refs), list(f.callbacks)]
+                for f in self.functions],
+            "draws": [
+                [d.line, d.end_line, d.col, d.method, list(d.tokens),
+                 d.func, d.annotation]
+                for d in self.draws],
+            "root_seed_reads": list(self.root_seed_reads),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ModuleExtract":
+        extract = cls(path=str(data["path"]), module=str(data["module"]))
+        for qualname, name, start, end, calls, refs, callbacks \
+                in data["functions"]:  # type: ignore[union-attr]
+            extract.functions.append(FunctionNode(
+                qualname=qualname, name=name, start=start, end=end,
+                calls=tuple(calls), refs=tuple(refs),
+                callbacks=tuple(callbacks)))
+        for line, end_line, col, method, tokens, func, annotation \
+                in data["draws"]:  # type: ignore[union-attr]
+            extract.draws.append(DrawSite(
+                path=extract.path, module=extract.module, line=line,
+                end_line=end_line, col=col, method=method,
+                tokens=tuple(tokens), func=func, annotation=annotation))
+        extract.root_seed_reads = list(data["root_seed_reads"])  # type: ignore[arg-type]
+        return extract
+
+
+def _terminal(node: ast.expr) -> Optional[str]:
+    """Terminal name of a Name/Attribute reference, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Single-pass extractor: functions, edges, draw sites."""
+
+    def __init__(self, extract: ModuleExtract, source: str) -> None:
+        self.extract = extract
+        self.lines = source.splitlines()
+        #: Stack of (qualname-prefix, calls, refs, callbacks) scopes.
+        self._scopes: List[Tuple[str, List[str], List[str], List[str]]] = []
+
+    # -- scope helpers --------------------------------------------------
+
+    def _enter(self, name: str) -> None:
+        outer = self._scopes[-1][0] if self._scopes else ""
+        prefix = outer + "." + name if outer else name
+        self._scopes.append((prefix, [], [], []))
+
+    def _exit(self, node: ast.AST, is_function: bool) -> None:
+        prefix, calls, refs, callbacks = self._scopes.pop()
+        if is_function:
+            self.extract.functions.append(FunctionNode(
+                qualname=prefix, name=prefix.rsplit(".", 1)[-1],
+                start=node.lineno,
+                end=getattr(node, "end_lineno", node.lineno),
+                calls=tuple(calls), refs=tuple(refs),
+                callbacks=tuple(callbacks)))
+        elif self._scopes:
+            # Class scope: fold leftovers into the enclosing scope so
+            # class-body calls still produce edges.
+            outer = self._scopes[-1]
+            outer[1].extend(calls)
+            outer[2].extend(refs)
+            outer[3].extend(callbacks)
+
+    def _record(self, index: int, name: Optional[str]) -> None:
+        if name is not None and self._scopes:
+            self._scopes[-1][index].append(name)
+
+    # -- visitors -------------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scopes.append(("", [], [], []))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node.name)
+        self.generic_visit(node)
+        self._exit(node, is_function=False)
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        self._enter(name)
+        self.generic_visit(node)
+        self._exit(node, is_function=True)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    # Lambdas stay part of the enclosing function's scope: their calls
+    # become the encloser's edges, which is what a callback closure is.
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "root_seed" and isinstance(node.ctx, ast.Load):
+            self.extract.root_seed_reads.append(node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _terminal(node.func)
+        self._record(1, callee)
+        if callee in DRAW_METHODS and isinstance(node.func, ast.Attribute):
+            self._record_draw(node, callee)
+        if callee is not None:
+            self._record_callbacks(node, callee)
+        # Any bare function reference in an argument is address-taken.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._record(2, _terminal(arg))
+        self.generic_visit(node)
+
+    # -- extraction details ---------------------------------------------
+
+    def _record_callbacks(self, node: ast.Call, callee: str) -> None:
+        slot = _CALLBACK_SLOTS.get(callee)
+        candidates: List[ast.expr] = []
+        if slot is not None:
+            index, keywords = slot
+            if len(node.args) > index:
+                candidates.append(node.args[index])
+            candidates.extend(kw.value for kw in node.keywords
+                              if kw.arg in keywords)
+        elif _LISTENER_CALL.match(callee):
+            candidates.extend(node.args)
+            candidates.extend(kw.value for kw in node.keywords)
+        for candidate in candidates:
+            if isinstance(candidate, ast.Lambda):
+                for inner in ast.walk(candidate.body):
+                    if isinstance(inner, ast.Call):
+                        self._record(3, _terminal(inner.func))
+                    elif isinstance(inner, (ast.Name, ast.Attribute)):
+                        self._record(3, _terminal(inner))
+            else:
+                self._record(3, _terminal(candidate))
+
+    def _record_draw(self, node: ast.Call, method: str) -> None:
+        tokens: List[Optional[str]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) \
+                    and isinstance(arg.value, (str, int)):
+                tokens.append(str(arg.value))
+            elif isinstance(arg, ast.Starred):
+                tokens.append(None)
+            else:
+                tokens.append(None)
+        end_line = getattr(node, "end_lineno", node.lineno)
+        annotation = None
+        for lineno in range(node.lineno, min(end_line + 1,
+                                             len(self.lines) + 1)):
+            match = _SUBSTREAM_ANNOTATION.search(self.lines[lineno - 1])
+            if match:
+                annotation = match.group(1)
+                break
+        self.extract.draws.append(DrawSite(
+            path=self.extract.path, module=self.extract.module,
+            line=node.lineno, end_line=end_line, col=node.col_offset,
+            method=method, tokens=tuple(tokens),
+            func=self._scopes[-1][0] if self._scopes else "",
+            annotation=annotation))
+
+
+def extract_module(path: str, module: str, source: str) -> ModuleExtract:
+    """AST-walk one module into its :class:`ModuleExtract`."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintEngineError(f"cannot parse {path}: {error}") from error
+    extract = ModuleExtract(path=path, module=module)
+    _ModuleVisitor(extract, source).visit(tree)
+    return extract
+
+
+class ProgramGraph:
+    """The whole-program view: modules, call edges, hot set, draws."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleExtract] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: path -> sorted (start, end, qualname) intervals of hot code.
+        self._hot: Dict[str, List[Tuple[int, int, str]]] = {}
+        self._hot_names: Set[str] = set()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, paths: Sequence[Path],
+              cache_path: Optional[Path] = None) -> "ProgramGraph":
+        """Analyze every Python file under ``paths`` (files or dirs)."""
+        graph = cls()
+        cache = graph._load_cache(cache_path)
+        cached_files = cache.get("files", {})
+        new_cache_files: Dict[str, object] = {}
+        for root in paths:
+            root = Path(root)
+            if not root.exists():
+                raise LintEngineError(f"no such file or directory: {root}")
+            for file_path in iter_python_files(root):
+                key = str(file_path)
+                source = read_source(file_path)
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+                entry = cached_files.get(key)
+                if entry is not None and entry.get("sha") == digest:
+                    extract = ModuleExtract.from_json(entry["extract"])
+                    graph.cache_hits += 1
+                else:
+                    extract = extract_module(
+                        key, module_name_for(file_path), source)
+                    graph.cache_misses += 1
+                graph.modules[key] = extract
+                new_cache_files[key] = {"sha": digest,
+                                        "extract": extract.to_json()}
+        graph._infer_hot_paths()
+        if cache_path is not None:
+            graph._save_cache(cache_path, new_cache_files)
+        return graph
+
+    @classmethod
+    def from_source(cls, source: str,
+                    path: str = "src/repro/example.py") -> "ProgramGraph":
+        """Single-module graph (test fixtures)."""
+        graph = cls()
+        extract = extract_module(path, module_name_for(Path(path)), source)
+        graph.modules[path] = extract
+        graph.cache_misses = 1
+        graph._infer_hot_paths()
+        return graph
+
+    # -- cache ----------------------------------------------------------
+
+    def _load_cache(self, cache_path: Optional[Path]) -> Dict[str, Dict]:
+        if cache_path is None or not Path(cache_path).exists():
+            return {}
+        try:
+            data = json.loads(Path(cache_path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if data.get("version") != CACHE_VERSION:
+            return {}
+        return data
+
+    def _save_cache(self, cache_path: Path,
+                    files: Dict[str, object]) -> None:
+        payload = json.dumps({"version": CACHE_VERSION, "files": files},
+                             sort_keys=True)
+        try:
+            Path(cache_path).write_text(payload, encoding="utf-8")
+        except OSError as error:
+            raise LintEngineError(
+                f"cannot write cache {cache_path}: {error}") from error
+
+    # -- hot-path inference ---------------------------------------------
+
+    def _infer_hot_paths(self) -> None:
+        """Mark every function reachable from event handlers/chaos gates.
+
+        Roots: every callback handed to the kernel or a listener
+        registration anywhere in the program, plus the chaos gate
+        methods of modules under ``repro.chaos``. Edges: name-level
+        calls *and* address-taken references (a function a hot function
+        merely holds may still be invoked from the event path).
+        """
+        by_name: Dict[str, List[Tuple[str, FunctionNode]]] = {}
+        for path, extract in self.modules.items():
+            for function in extract.functions:
+                by_name.setdefault(function.name, []).append(
+                    (path, function))
+
+        roots: Set[Tuple[str, str]] = set()
+        for path, extract in self.modules.items():
+            for function in extract.functions:
+                for callback in function.callbacks:
+                    for target_path, target in by_name.get(callback, ()):
+                        roots.add((target_path, target.qualname))
+            if extract.module == "repro.chaos" \
+                    or extract.module.startswith("repro.chaos."):
+                for function in extract.functions:
+                    if function.name in CHAOS_GATES:
+                        roots.add((path, function.qualname))
+
+        index: Dict[Tuple[str, str], FunctionNode] = {
+            (path, function.qualname): function
+            for path, extract in self.modules.items()
+            for function in extract.functions}
+
+        seen: Set[Tuple[str, str]] = set()
+        frontier = sorted(roots)
+        while frontier:
+            key = frontier.pop()
+            if key in seen or key not in index:
+                continue
+            seen.add(key)
+            function = index[key]
+            for name in (*function.calls, *function.refs,
+                         *function.callbacks):
+                for target_path, target in by_name.get(name, ()):
+                    candidate = (target_path, target.qualname)
+                    if candidate not in seen:
+                        frontier.append(candidate)
+
+        for path, qualname in seen:
+            function = index[(path, qualname)]
+            self._hot.setdefault(path, []).append(
+                (function.start, function.end, qualname))
+            self._hot_names.add(
+                f"{self.modules[path].module}:{qualname}")
+        for intervals in self._hot.values():
+            intervals.sort()
+
+    # -- queries --------------------------------------------------------
+
+    def is_hot(self, path: str, line: int) -> bool:
+        """Whether ``line`` of ``path`` lies inside a hot function."""
+        for start, end, _ in self._hot.get(path, ()):
+            if start <= line <= end:
+                return True
+        return False
+
+    def hot_functions(self) -> Tuple[str, ...]:
+        """Sorted ``module:qualname`` labels of the inferred hot set."""
+        return tuple(sorted(self._hot_names))
+
+    def draw_sites(self) -> Tuple[DrawSite, ...]:
+        """Every draw site in the program, in stable (path, line) order."""
+        return tuple(sorted(
+            (draw for extract in self.modules.values()
+             for draw in extract.draws),
+            key=lambda d: (d.path, d.line, d.col)))
+
+    def covers(self, path: str) -> bool:
+        return path in self.modules

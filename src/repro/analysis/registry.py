@@ -1,0 +1,136 @@
+"""The RNG substream registry: every statically-known draw site.
+
+Built from a :class:`~repro.analysis.graph.ProgramGraph`, the registry
+answers "which ``(namespace, name)`` substreams does this program ever
+draw, and from where?" — the static half of the determinism contract
+for randomness.  Three whole-program rules read it:
+
+* **TL010** — two distinct call paths drawing the same literal
+  substream interleave their draws through one shared generator, so a
+  new draw in either path silently shifts the other (the PR-3
+  failover-downtime bug class).
+* **TL011** — the root stream (a zero-token ``stream()`` /
+  ``derive_seed()``) and raw ``root_seed`` reuse belong to
+  ``repro.rng`` alone; anywhere else they bypass the named-substream
+  scheme entirely.
+* **TL012** — a draw site whose tokens are not all literal is
+  unauditable unless it declares its name pattern with a
+  ``# totolint: substream=<fnmatch-pattern>`` annotation (patterns use
+  ``/`` to join tokens: ``rgmanager/*/*`` covers
+  ``stream("rgmanager", node_id, metric)``).
+
+The same registry is the ground truth for the runtime sanitizer
+(:mod:`repro.analysis.detsan`): every substream a DetSan run observes
+must match a registry entry, by site *and* by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.graph import DrawSite, ProgramGraph
+
+#: Modules allowed to touch the root stream / root seed (TL011).
+_ROOT_SANCTUARY = ("repro.rng",)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One auditable substream: a literal key or a declared pattern."""
+
+    pattern: str
+    site: DrawSite
+    literal: bool
+
+
+class SubstreamRegistry:
+    """All statically-known substream draw sites of one program."""
+
+    def __init__(self, graph: ProgramGraph) -> None:
+        self.graph = graph
+        self.entries: List[RegistryEntry] = []
+        #: literal "/"-joined key -> draw sites using it.
+        self._by_key: Dict[str, List[DrawSite]] = {}
+        for site in graph.draw_sites():
+            key = site.literal_key
+            if key is not None:
+                joined = "/".join(key)
+                self._by_key.setdefault(joined, []).append(site)
+                self.entries.append(RegistryEntry(
+                    pattern=joined, site=site, literal=True))
+            elif site.annotation is not None:
+                self.entries.append(RegistryEntry(
+                    pattern=site.annotation, site=site, literal=False))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- static checks (consumed by the TL010..TL012 rules) -------------
+
+    def collisions(self) -> List[Tuple[str, List[DrawSite]]]:
+        """Literal keys drawn from more than one distinct call path.
+
+        Two draws inside the *same* function are one logical user of the
+        stream; distinct enclosing functions are distinct call paths.
+        """
+        found = []
+        for key, sites in sorted(self._by_key.items()):
+            paths = {(site.path, site.func) for site in sites}
+            if len(paths) > 1:
+                found.append((key, sorted(
+                    sites, key=lambda s: (s.path, s.line))))
+        return found
+
+    def root_draws(self) -> List[DrawSite]:
+        """Zero-token draw sites outside ``repro.rng`` (the root stream)."""
+        return [site for site in self.graph.draw_sites()
+                if not site.tokens and site.method != "fork"
+                and site.module not in _ROOT_SANCTUARY]
+
+    def root_seed_reads(self) -> List[Tuple[str, str, int]]:
+        """``.root_seed`` reads outside ``repro.rng``: (path, module, line)."""
+        found = []
+        for path, extract in sorted(self.graph.modules.items()):
+            if extract.module in _ROOT_SANCTUARY:
+                continue
+            for line in extract.root_seed_reads:
+                found.append((path, extract.module, line))
+        return found
+
+    def unauditable(self) -> List[DrawSite]:
+        """Dynamic draw sites with no ``substream=`` annotation."""
+        return [site for site in self.graph.draw_sites()
+                if site.literal_key is None and site.annotation is None
+                and site.module not in _ROOT_SANCTUARY]
+
+    # -- runtime matching (consumed by DetSan) ---------------------------
+
+    def match_name(self, name: str) -> Optional[RegistryEntry]:
+        """The registry entry covering a runtime ``"/"``-joined name."""
+        for entry in self.entries:
+            if entry.literal:
+                if entry.pattern == name:
+                    return entry
+            elif fnmatchcase(name, entry.pattern):
+                return entry
+        return None
+
+    def match_site(self, file_suffix: str, line: int) -> Optional[DrawSite]:
+        """The static draw site containing ``file:line``, if any.
+
+        ``file_suffix`` is matched against the tail of each site's path
+        so an installed package and a source checkout compare equal.
+        """
+        for site in self.graph.draw_sites():
+            if not (site.line <= line <= site.end_line):
+                continue
+            if site.path.endswith(file_suffix) \
+                    or file_suffix.endswith(site.path):
+                return site
+        return None
+
+    def names(self) -> Tuple[str, ...]:
+        """Sorted registry patterns (for reports and docs)."""
+        return tuple(sorted({entry.pattern for entry in self.entries}))

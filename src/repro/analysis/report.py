@@ -26,6 +26,15 @@ def format_text(report: LintReport, verbose: bool = False) -> str:
                           for code, count in report.counts().items())
         lines.append(f"totolint: {report.files_checked} files checked, "
                      f"{len(report.violations)} violations ({tally})")
+    if report.cache_hits or report.cache_misses:
+        lines.append(f"totolint: program graph: "
+                     f"{report.hot_functions} hot functions, "
+                     f"{report.registry_size} registry substreams, "
+                     f"cache hits {report.cache_hits} / "
+                     f"misses {report.cache_misses}")
+    if report.baselined:
+        lines.append(f"totolint: {report.baselined} finding(s) absorbed "
+                     "by the baseline ratchet")
     if verbose and not report.clean:
         lines.append("suppress a finding with "
                      "`# totolint: disable=<RULE>` on the flagged line")
@@ -60,5 +69,13 @@ def format_json(report: LintReport) -> str:
              "message": violation.message}
             for violation in report.violations
         ],
+        # Additive (version stays 1): whole-program pass statistics.
+        "program": {
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "registry_size": report.registry_size,
+            "hot_functions": report.hot_functions,
+            "baselined": report.baselined,
+        },
     }
     return json.dumps(document, indent=2, sort_keys=False)

@@ -1,22 +1,40 @@
-"""The repo-specific lint rules (TL001..TL009).
+"""The repo-specific lint rules (TL001..TL013).
 
 Each rule encodes one clause of the determinism/correctness contract
-described in ``docs/STATIC_ANALYSIS.md``.  Rules are small AST visitors:
-they receive a parsed :class:`~repro.analysis.engine.ModuleContext` and
-yield :class:`~repro.analysis.engine.Violation` records; the engine
-handles suppression, ordering and reporting.
+described in ``docs/STATIC_ANALYSIS.md``.  Most rules are small AST
+visitors: they receive a parsed
+:class:`~repro.analysis.engine.ModuleContext` and yield
+:class:`~repro.analysis.engine.Violation` records; the engine handles
+suppression, ordering and reporting.  The RNG substream rules
+(TL010..TL012) are *program-wide*: they set ``program_wide`` and
+implement :meth:`Rule.check_program` against the
+:class:`~repro.analysis.registry.SubstreamRegistry` the engine builds
+when linting a whole tree.
 
 Adding a rule: subclass :class:`Rule`, set ``code``/``title``/
 ``rationale`` (and ``scopes`` if package-limited), implement
-:meth:`Rule.check`, and decorate with :func:`register`.
+:meth:`Rule.check` (or :meth:`Rule.check_program`), and decorate with
+:func:`register`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.analysis.engine import LintEngineError, ModuleContext, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.registry import SubstreamRegistry
 
 
 class Rule:
@@ -31,6 +49,9 @@ class Rule:
     rationale: str = ""
     #: Dotted module prefixes the rule is limited to; empty = everywhere.
     scopes: Tuple[str, ...] = ()
+    #: Program-wide rules run once per lint over the substream registry
+    #: (:meth:`check_program`) instead of once per module.
+    program_wide: bool = False
 
     def applies_to(self, context: ModuleContext) -> bool:
         return not self.scopes or context.in_package(*self.scopes)
@@ -38,9 +59,35 @@ class Rule:
     def check(self, context: ModuleContext) -> Iterator[Violation]:
         raise NotImplementedError
 
+    def check_program(self, registry: "SubstreamRegistry"
+                      ) -> Iterator[Violation]:
+        raise NotImplementedError
+
     def violation(self, context: ModuleContext, node: ast.AST,
                   message: str) -> Violation:
         return context.violation(self.code, node, message)
+
+
+class HotPathRule(Rule):
+    """A rule whose scope is the *inferred* hot set when available.
+
+    With a program graph in play the hand-maintained ``scopes`` package
+    list is ignored: the rule applies to every module the graph covers,
+    but only flags nodes inside functions reachable from simkernel
+    event handlers or chaos gates.  Single-module runs (``lint_source``)
+    fall back to the package scopes.
+    """
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.program is not None:
+            return True
+        return super().applies_to(context)
+
+    def in_scope(self, context: ModuleContext, node: ast.AST) -> bool:
+        if context.program is None:
+            return True
+        return context.program.is_hot(context.path,
+                                      getattr(node, "lineno", 1))
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -194,7 +241,7 @@ class NoGlobalRng(Rule):
 
 
 @register
-class NoUnorderedIteration(Rule):
+class NoUnorderedIteration(HotPathRule):
     code = "TL003"
     title = "no set iteration on simulation hot paths"
     rationale = (
@@ -204,7 +251,8 @@ class NoUnorderedIteration(Rule):
         "runs diverge. Sort first (`sorted(...)`) or keep an "
         "insertion-ordered dict/list. Sets remain fine for membership "
         "tests. dict/dict.values() iteration is allowed: insertion "
-        "order is deterministic.")
+        "order is deterministic. Scope: the inferred hot set when the "
+        "whole-program analyzer runs, the package list otherwise.")
     scopes = ("repro.simkernel", "repro.fabric", "repro.sqldb")
 
     _SET_METHODS = frozenset({"union", "intersection", "difference",
@@ -220,7 +268,7 @@ class NoUnorderedIteration(Rule):
                 iters.extend(gen.iter for gen in node.generators)
             for candidate in iters:
                 reason = self._set_valued(candidate)
-                if reason:
+                if reason and self.in_scope(context, candidate):
                     yield self.violation(
                         context, candidate,
                         f"iteration over {reason} has nondeterministic "
@@ -247,7 +295,7 @@ class NoUnorderedIteration(Rule):
 
 
 @register
-class NoIdentityKeys(Rule):
+class NoIdentityKeys(HotPathRule):
     code = "TL004"
     title = "no id()/hash() values in program logic"
     rationale = (
@@ -255,13 +303,16 @@ class NoIdentityKeys(Rule):
         "salted per process (PYTHONHASHSEED), so either one used as a "
         "sort key, dict key, or seed silently differs between the "
         "serial loop and pool workers. Use stable identifiers (database "
-        "ids, node ids, sequence numbers) or repro.rng's FNV hashing.")
+        "ids, node ids, sequence numbers) or repro.rng's FNV hashing. "
+        "Scope: the inferred hot set when the whole-program analyzer "
+        "runs, every module otherwise.")
 
     def check(self, context: ModuleContext) -> Iterator[Violation]:
         for node in ast.walk(context.tree):
             if (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Name)
-                    and node.func.id in ("id", "hash")):
+                    and node.func.id in ("id", "hash")
+                    and self.in_scope(context, node)):
                 yield self.violation(
                     context, node,
                     f"`{node.func.id}()` is process-specific: results "
@@ -515,3 +566,116 @@ class ChaosNeverSleeps(Rule):
             return False
         return not any(isinstance(inner, ast.Break)
                        for stmt in node.body for inner in ast.walk(stmt))
+
+
+# ---------------------------------------------------------------------------
+# TL010 — substream collisions (whole-program)
+
+
+@register
+class NoSubstreamCollision(Rule):
+    code = "TL010"
+    title = "no two call paths may draw the same RNG substream"
+    rationale = (
+        "RngRegistry memoizes generators by name, so two distinct call "
+        "paths drawing the same `(namespace, name)` substream interleave "
+        "their draws through one shared generator — adding a draw in "
+        "either path silently shifts every later draw of the other (the "
+        "PR-3 failover-downtime bug). Every substream must have exactly "
+        "one owning call path; derive a sibling name instead of sharing.")
+    program_wide = True
+
+    def check_program(self, registry: "SubstreamRegistry"
+                      ) -> Iterator[Violation]:
+        for key, sites in registry.collisions():
+            anchor = sites[-1]
+            paths = "; ".join(site.where() for site in sites)
+            yield Violation(
+                path=anchor.path, line=anchor.line, col=anchor.col,
+                rule=self.code,
+                message=f"substream `{key}` is drawn from "
+                        f"{len(sites)} distinct call paths: {paths}; "
+                        "each substream must have one owner")
+
+
+# ---------------------------------------------------------------------------
+# TL011 — root-stream draws outside repro.rng (whole-program)
+
+
+@register
+class NoRootStreamDraws(Rule):
+    code = "TL011"
+    title = "no root-stream draws or root_seed reuse outside repro.rng"
+    rationale = (
+        "A zero-token `stream()`/`derive_seed()` call or a raw "
+        "`root_seed` read bypasses the named-substream scheme: it "
+        "aliases the registry root, so any component using it contends "
+        "with every other. Name the substream; only repro.rng itself "
+        "may touch the root entropy.")
+    program_wide = True
+
+    def check_program(self, registry: "SubstreamRegistry"
+                      ) -> Iterator[Violation]:
+        for site in registry.root_draws():
+            yield Violation(
+                path=site.path, line=site.line, col=site.col,
+                rule=self.code,
+                message=f"`{site.method}()` with no name tokens draws the "
+                        "registry root stream; name the substream")
+        for path, module, line in registry.root_seed_reads():
+            yield Violation(
+                path=path, line=line, col=0, rule=self.code,
+                message=f"`root_seed` read in {module}: root entropy is "
+                        "owned by repro.rng; derive a named seed with "
+                        "`derive_seed(...)` instead")
+
+
+# ---------------------------------------------------------------------------
+# TL012 — unauditable (non-literal) draw names (whole-program)
+
+
+@register
+class DrawNamesMustBeAuditable(Rule):
+    code = "TL012"
+    title = "RNG draw names must be literal or declared via substream="
+    rationale = (
+        "The substream registry — and the DetSan runtime cross-check — "
+        "can only audit draws whose names are statically known. A draw "
+        "built from variables is invisible to both unless the site "
+        "declares its name pattern with `# totolint: "
+        "substream=<pattern>` (fnmatch over the `/`-joined tokens, e.g. "
+        "`rgmanager/*/*`).")
+    program_wide = True
+
+    def check_program(self, registry: "SubstreamRegistry"
+                      ) -> Iterator[Violation]:
+        for site in registry.unauditable():
+            dynamic = sum(1 for token in site.tokens if token is None)
+            yield Violation(
+                path=site.path, line=site.line, col=site.col,
+                rule=self.code,
+                message=f"`{site.method}()` has {dynamic} non-literal name "
+                        "token(s) and no `# totolint: substream=` "
+                        "annotation; the draw is unauditable")
+
+
+# ---------------------------------------------------------------------------
+# TL013 — unused suppressions (audit; implemented in the engine)
+
+
+@register
+class NoStaleSuppressions(Rule):
+    code = "TL013"
+    title = "every totolint suppression must still suppress something"
+    rationale = (
+        "A `# totolint: disable=` comment that no longer matches a "
+        "violation is a standing invitation to reintroduce the bug it "
+        "once hid: the suppression outlives the code it excused. The "
+        "engine tracks which suppressions fired during the run and "
+        "flags the rest. (The audit needs every rule's results, so "
+        "selecting TL013 runs the full catalogue.)")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        # The audit lives in the engine (_audit_suppressions): it can
+        # only run after every other rule has reported.
+        return iter(())

@@ -204,7 +204,7 @@ class ChaosConfig:
         for kind, count, fault_duration in plan:
             if count <= 0:
                 continue
-            stream = rng_registry.stream("chaos", kind.value)
+            stream = rng_registry.stream("chaos", kind.value)  # totolint: substream=chaos/*
             horizon = max(duration - fault_duration, 1)
             for _ in range(count):
                 at = int(stream.integers(0, horizon))

@@ -119,7 +119,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         scenario = scenario.with_chaos(chaos_profile(args.chaos))
     print(f"running {scenario.name} for "
           f"{format_duration(scenario.duration)} ...")
-    result = run_scenario(scenario)
+    detsan_exit = 0
+    if args.detsan:
+        from repro.analysis.detsan import verify_run
+        result, report = verify_run(scenario)
+        print(report.format())
+        detsan_exit = 0 if report.ok else 1
+    else:
+        result = run_scenario(scenario)
     kpis = result.kpis
     print(f"reserved cores : {kpis.final_reserved_cores:.0f} "
           f"({kpis.core_utilization:.1%})")
@@ -143,7 +150,7 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"creates-timed-out={chaos.creates_timed_out}, "
               f"drops-deferred={chaos.drops_deferred}, "
               f"pm-stalled={chaos.pm_ticks_stalled})")
-    return 0
+    return detsan_exit
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -225,7 +232,10 @@ def cmd_incident(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
     return run_lint(paths=args.paths, output_format=args.format,
-                    rules=args.rules, list_rules=args.list_rules)
+                    rules=args.rules, list_rules=args.list_rules,
+                    sarif=args.sarif, baseline=args.baseline,
+                    write_baseline=args.write_baseline,
+                    cache=args.cache, no_program=args.no_program)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(CHAOS_PROFILES),
                      help="fault-injection profile: "
                           + ", ".join(sorted(CHAOS_PROFILES)))
+    run.add_argument("--detsan", action="store_true",
+                     help="run under the determinism sanitizer: execute "
+                          "twice, cross-check the RNG/event ledgers and "
+                          "the static substream registry (exit 1 on any "
+                          "divergence or unknown draw site)")
     run.set_defaults(func=cmd_run)
 
     train = sub.add_parser("train",
@@ -307,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
     lint = sub.add_parser(
         "lint",
-        help="determinism & correctness static analysis (TL001..TL009)")
+        help="determinism & correctness static analysis (TL001..TL013)")
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 

@@ -18,7 +18,10 @@ The run proceeds exactly as §5.2 describes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.analysis.detsan import DetSanRecorder
 
 from repro.chaos.injector import FaultInjector
 from repro.errors import AdmissionRejected, ScenarioError
@@ -76,10 +79,11 @@ class BenchmarkResult:
 class BenchmarkRunner:
     """Executes one :class:`BenchmarkScenario` end to end."""
 
-    def __init__(self, scenario: BenchmarkScenario) -> None:
+    def __init__(self, scenario: BenchmarkScenario,
+                 detsan: Optional["DetSanRecorder"] = None) -> None:
         self.scenario = scenario
-        self.kernel = SimulationKernel()
-        self.rng = RngRegistry(scenario.seed)
+        self.kernel = SimulationKernel(detsan=detsan)
+        self.rng = RngRegistry(scenario.seed, recorder=detsan)
         self.ring = TenantRing(
             self.kernel, scenario.ring, self.rng,
             plb_rng_name=f"plb-{scenario.plb_salt}")
@@ -245,6 +249,8 @@ class BenchmarkRunner:
         )
 
 
-def run_scenario(scenario: BenchmarkScenario) -> BenchmarkResult:
-    """Convenience one-shot runner."""
-    return BenchmarkRunner(scenario).run()
+def run_scenario(scenario: BenchmarkScenario,
+                 detsan: Optional["DetSanRecorder"] = None
+                 ) -> BenchmarkResult:
+    """Convenience one-shot runner (``detsan`` attaches the sanitizer)."""
+    return BenchmarkRunner(scenario, detsan=detsan).run()

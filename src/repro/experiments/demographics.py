@@ -44,7 +44,7 @@ class DemographicsStudy:
         data: Dict[str, List[float]] = {}
         for profile in (self.region_one, self.region_two):
             generator = ProductionTraceGenerator(
-                profile, self.rng.stream("fig3a", profile.name))
+                profile, self.rng.stream("fig3a", profile.name))  # totolint: substream=fig3a/*
             per_day = generator.local_store_fractions(days=days)
             data[profile.name] = [fraction
                                   for day in sorted(per_day)

@@ -10,14 +10,25 @@ is *not* pinned across repeated experiments unless requested.
 named child streams through :class:`numpy.random.SeedSequence`, so the
 stream for ``("node", 3, "disk")`` is stable no matter in which order
 streams are created.
+
+An optional *recorder* (the DetSan runtime sanitizer,
+:mod:`repro.analysis.detsan`) can be attached at construction; every
+stream acquisition and seed derivation is then reported to it and
+generators are handed out through its recording proxy.  The recorder is
+duck-typed (``acquire``/``acquire_seed``) so this module never imports
+the analysis layer; with no recorder the only overhead is an ``is
+None`` test.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Iterable, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union, cast
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.analysis.detsan import DetSanRecorder
 
 Token = Union[str, int]
 
@@ -55,8 +66,10 @@ class RngRegistry:
     True
     """
 
-    def __init__(self, root_seed: int) -> None:
+    def __init__(self, root_seed: int,
+                 recorder: Optional["DetSanRecorder"] = None) -> None:
         self.root_seed = int(root_seed)
+        self.recorder = recorder
         self._streams: Dict[Tuple[int, ...], np.random.Generator] = {}
 
     def stream(self, *name: Token) -> np.random.Generator:
@@ -68,6 +81,12 @@ class RngRegistry:
                                          spawn_key=key)
             generator = np.random.Generator(np.random.PCG64(seq))
             self._streams[key] = generator
+        if self.recorder is not None:
+            # The proxy draws from the very same generator, so a
+            # recorded run produces byte-identical results.
+            return cast(np.random.Generator,
+                        self.recorder.acquire(key, "stream", name,
+                                              generator))
         return generator
 
     def derive_seed(self, *name: Token) -> int:
@@ -78,8 +97,15 @@ class RngRegistry:
         """
         seq = np.random.SeedSequence(entropy=self.root_seed,
                                      spawn_key=_spawn_key(name))
-        return int(seq.generate_state(1, dtype=np.uint32)[0])
+        seed = int(seq.generate_state(1, dtype=np.uint32)[0])
+        if self.recorder is not None:
+            self.recorder.acquire_seed("derive_seed", name, seed)
+        return seed
 
     def fork(self, *name: Token) -> "RngRegistry":
-        """Return a child registry rooted at a seed derived from ``name``."""
-        return RngRegistry(self.derive_seed(*name))
+        """Return a child registry rooted at a seed derived from ``name``.
+
+        The child inherits the recorder, so a DetSan run sees draws
+        from forked registries too.
+        """
+        return RngRegistry(self.derive_seed(*name), recorder=self.recorder)

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.errors import SimulationError
 from repro.simkernel.clock import SimClock
 from repro.simkernel.event import Callback, Event, EventQueue, Label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.analysis.detsan import DetSanRecorder
 
 
 class SimulationKernel:
@@ -13,15 +18,23 @@ class SimulationKernel:
     Components schedule callbacks with :meth:`schedule` (absolute time)
     or :meth:`schedule_after` (relative delay); :meth:`run_until`
     executes events in timestamp order, advancing the shared clock.
+
+    ``detsan`` optionally attaches the runtime determinism sanitizer
+    (:mod:`repro.analysis.detsan`): every scheduling is then appended
+    to its ordered ledger.  Off by default and costs one ``is None``
+    test per scheduling when off.
     """
 
-    __slots__ = ("clock", "_queue", "_running", "events_executed")
+    __slots__ = ("clock", "_queue", "_running", "events_executed",
+                 "_detsan")
 
-    def __init__(self, start: int = 0) -> None:
+    def __init__(self, start: int = 0,
+                 detsan: Optional["DetSanRecorder"] = None) -> None:
         self.clock = SimClock(start)
         self._queue = EventQueue()
         self._running = False
         self.events_executed = 0
+        self._detsan = detsan
 
     @property
     def now(self) -> int:
@@ -43,6 +56,8 @@ class SimulationKernel:
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule '{label}' at {time}, now is {self.clock.now}")
+        if self._detsan is not None:
+            self._detsan.record_event(time, label)
         return self._queue.push(time, callback, label)
 
     def schedule_after(self, delay: int, callback: Callback,
@@ -50,6 +65,8 @@ class SimulationKernel:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for '{label}'")
+        if self._detsan is not None:
+            self._detsan.record_event(self.clock.now + delay, label)
         return self._queue.push(self.clock.now + delay, callback, label)
 
     def run_until(self, end_time: int) -> None:

@@ -60,7 +60,8 @@ class Region:
                        plb_rng_name=f"plb-{name}-ring-{index}")
             for index in range(ring_count)
         ]
-        self._rng = rng_registry.stream(name, "ring-selection")
+        self._rng = rng_registry.stream(
+            name, "ring-selection")  # totolint: substream=*/ring-selection
         self.creates_routed = 0
         self.creates_rejected_region_wide = 0
         self.cross_ring_redirects = 0

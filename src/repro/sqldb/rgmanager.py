@@ -116,7 +116,7 @@ class RgManager:
         stream = self._streams.get(metric)
         if stream is None:
             stream = self._rng_registry.stream(
-                "rgmanager", self.node_id, metric)
+                "rgmanager", self.node_id, metric)  # totolint: substream=rgmanager/*/*
             self._streams[metric] = stream
         return stream
 

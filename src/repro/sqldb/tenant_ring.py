@@ -72,7 +72,7 @@ class TenantRing:
         self.cluster = ServiceFabricCluster(
             node_count=config.node_count,
             capacities=config.node_capacities,
-            plb_rng=rng_registry.stream(plb_rng_name),
+            plb_rng=rng_registry.stream(plb_rng_name),  # totolint: substream=plb-*
             use_annealing=config.use_annealing,
             downtime_rng=rng_registry.stream("failover", "downtime"),
         )

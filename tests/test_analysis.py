@@ -289,7 +289,10 @@ class TestSuppression:
     def test_line_suppression_with_list_and_all(self):
         listed = self.BAD_LINE + "  # totolint: disable=TL004,TL001\n"
         everything = self.BAD_LINE + "  # totolint: disable=all\n"
-        assert lint_source(listed).clean
+        # TL001 is suppressed; the TL004 in the list never fires here,
+        # which the TL013 audit flags as a stale suppression code.
+        assert codes(lint_source(listed)) == ["TL013"]
+        assert lint_source(listed, rules=get_rules(["TL001"])).clean
         assert lint_source(everything).clean
 
     def test_file_suppression(self):
@@ -298,7 +301,11 @@ class TestSuppression:
 
     def test_wrong_code_does_not_suppress(self):
         source = self.BAD_LINE + "  # totolint: disable=TL002\n"
-        assert codes(lint_source(source)) == ["TL001"]
+        # TL001 still fires, and the useless TL002 suppression is TL013
+        # (which sorts first: the comment anchors at column 0).
+        assert codes(lint_source(source)) == ["TL013", "TL001"]
+        assert codes(lint_source(
+            source, rules=get_rules(["TL001"]))) == ["TL001"]
 
 
 class TestEngine:
@@ -317,7 +324,7 @@ class TestEngine:
 
     def test_catalogue_is_complete(self):
         assert [rule.code for rule in all_rules()] == [
-            f"TL00{n}" for n in range(1, 10)]
+            f"TL{n:03d}" for n in range(1, 14)]
         for rule in all_rules():
             assert rule.title and rule.rationale
 

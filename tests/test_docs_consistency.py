@@ -90,6 +90,36 @@ class TestChaosDoc:
         assert "repro.chaos" in doc
 
 
+class TestStaticAnalysisDoc:
+    DOC = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+
+    def test_every_rule_has_a_section(self):
+        from repro.analysis import all_rules
+        for rule in all_rules():
+            assert f"### {rule.code} — " in self.DOC, \
+                f"docs/STATIC_ANALYSIS.md has no section for {rule.code}"
+
+    def test_detsan_and_ratchet_are_documented(self):
+        assert "--detsan" in self.DOC
+        assert "DetSan" in self.DOC
+        assert "--write-baseline" in self.DOC
+        assert "totolint-baseline.json" in self.DOC
+        assert "substream=" in self.DOC
+        assert "--cache" in self.DOC
+        assert "SARIF" in self.DOC
+
+    def test_readme_mentions_the_runtime_half(self):
+        assert "--detsan" in README
+        assert "TL001–TL013" in README
+
+    def test_committed_baseline_is_empty_and_valid(self):
+        import json
+        payload = json.loads(
+            (REPO / "totolint-baseline.json").read_text())
+        assert payload["entries"] == [], \
+            "the tree should lint clean; burn findings down, don't park them"
+
+
 class TestDesignIndex:
     def test_referenced_modules_exist(self):
         for module in re.findall(r"`repro\.([\w.]+)`", DESIGN):

@@ -7,8 +7,11 @@ and delegates to :mod:`repro.analysis.cli`. Exit codes are stable —
 
 Usage::
 
-    python tools/totolint.py                       # lint src/repro
+    python tools/totolint.py                       # lint src/repro (TL001..TL013)
     python tools/totolint.py --format json         # CI artifact
+    python tools/totolint.py --sarif               # SARIF 2.1.0
+    python tools/totolint.py --baseline totolint-baseline.json
+    python tools/totolint.py --cache .totolint-cache.json    # incremental
     python tools/totolint.py --rules TL001,TL006 src/repro/simkernel
 """
 
