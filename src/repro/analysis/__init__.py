@@ -8,7 +8,7 @@ that determinism contract from both sides:
 
 * **Statically** — an AST lint engine (:mod:`.engine`) walks every
   module under ``src/repro/`` and applies the repo-specific rules
-  registered in :mod:`.rules` (TL001..TL013).  A whole-program pass
+  registered in :mod:`.rules` (TL001..TL014).  A whole-program pass
   (:mod:`.graph`) builds the import/call graph, infers the hot set
   reachable from simkernel event handlers and chaos gates, and derives
   the RNG substream registry (:mod:`.registry`) behind the TL010..TL012

@@ -143,7 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totolint",
         description="determinism & correctness linter for the Toto "
-                    "reproduction (rules TL001..TL013)")
+                    "reproduction (rules TL001..TL014)")
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
     return run_lint(paths=args.paths, output_format=args.format,

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (TL001..TL013).
+"""The repo-specific lint rules (TL001..TL014).
 
 Each rule encodes one clause of the determinism/correctness contract
 described in ``docs/STATIC_ANALYSIS.md``.  Most rules are small AST
@@ -679,3 +679,65 @@ class NoStaleSuppressions(Rule):
         # The audit lives in the engine (_audit_suppressions): it can
         # only run after every other rule has reported.
         return iter(())
+
+
+# ---------------------------------------------------------------------------
+# TL014 — observability code is passive: no RNG, no clocks
+
+
+@register
+class ObservabilityIsPassive(Rule):
+    code = "TL014"
+    title = "repro.obs must not draw RNG or read clocks"
+    rationale = (
+        "The observability layer promises that an observed run is "
+        "byte-identical to an unobserved one (docs/OBSERVABILITY.md): "
+        "tracing, metrics, and profiling watch the simulation without "
+        "participating in it. A single RNG draw inside `repro.obs` "
+        "would shift every downstream substream; a wall-clock read "
+        "would leak nondeterministic bytes into exports that must diff "
+        "clean across machines and pool layouts. So the package may "
+        "not import RNG or clock modules at all — profiling wall time "
+        "is injected from outside as an opaque callable.")
+    scopes = ("repro.obs",)
+
+    #: Modules whose very import is banned inside the package.
+    _BANNED_MODULES = ("random", "numpy.random", "repro.rng", "time",
+                       "datetime")
+    #: Method names that draw from an RNG stream or derive one.
+    _DRAW_METHODS = frozenset({
+        "stream", "derive_seed", "fork", "spawn", "integers", "normal",
+        "choice", "shuffle", "permutation", "uniform", "exponential",
+        "poisson", "standard_normal",
+    })
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned(alias.name):
+                        yield self.violation(
+                            context, node,
+                            f"`import {alias.name}` in repro.obs; "
+                            "observability code may not read clocks or "
+                            "draw RNG — inject capabilities from outside")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level == 0 and self._banned(module):
+                    yield self.violation(
+                        context, node,
+                        f"`from {module} import ...` in repro.obs; "
+                        "observability code may not read clocks or draw "
+                        "RNG — inject capabilities from outside")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in self._DRAW_METHODS:
+                    yield self.violation(
+                        context, node,
+                        f"`.{node.func.attr}()` looks like an RNG draw or "
+                        "substream derivation; repro.obs is a pure "
+                        "observer and must not consume randomness")
+
+    def _banned(self, module: str) -> bool:
+        return any(module == banned or module.startswith(banned + ".")
+                   for banned in self._BANNED_MODULES)

@@ -20,7 +20,7 @@ each attempt against the fault window. Jitter comes from the dedicated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.faults import FaultKind, FaultSchedule, FaultSpec
 from repro.chaos.retry import BackoffPolicy, RetryResult, probe_through_backoff
@@ -125,6 +125,11 @@ class FaultInjector(NamingFaultGate):
         self._stale_depth = 0
         self._stale_snapshot: Optional[Dict[str, _Entry]] = None
         self.chaos_start = 0
+        #: Optional trace callback ``(label, now) -> None`` set by the
+        #: observability session (docs/OBSERVABILITY.md). Called only at
+        #: gate *decision* points (a fault actually bit), never on clean
+        #: passes, so trace volume stays proportional to injected chaos.
+        self.trace_hook: Optional[Callable[[str, int], None]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,6 +243,11 @@ class FaultInjector(NamingFaultGate):
         self.telemetry.retries += result.retries
         return result
 
+    def _mark(self, label: str) -> None:
+        """Emit a trace mark at the current virtual time, if tracing."""
+        if self.trace_hook is not None:
+            self.trace_hook(label, self.kernel.now)
+
     # ------------------------------------------------------------------
     # Naming Service gate (NamingFaultGate protocol)
     # ------------------------------------------------------------------
@@ -257,6 +267,7 @@ class FaultInjector(NamingFaultGate):
             return
         self.telemetry.naming_unavailable_errors += 1
         self.telemetry.degraded_intervals += 1
+        self._mark(f"chaos-naming-unavailable:{verb}")
         raise NamingUnavailableError(
             f"naming {verb} of '{key}' exhausted its retry budget "
             "during an injected metastore outage")
@@ -267,6 +278,7 @@ class FaultInjector(NamingFaultGate):
         if not self._covered(FaultKind.NAMING_STALE, self.kernel.now):
             return None
         self.telemetry.naming_stale_reads += 1
+        self._mark("chaos-stale-read")
         return self._stale_snapshot
 
     # ------------------------------------------------------------------
@@ -286,6 +298,7 @@ class FaultInjector(NamingFaultGate):
         else:
             self.telemetry.drops_deferred += 1
         self.telemetry.degraded_intervals += 1
+        self._mark(f"chaos-{op}-timeout")
         raise RetryBudgetExceeded(
             f"control-plane {op} at t={now} exhausted its retry budget "
             "during an injected transient outage")
@@ -301,13 +314,16 @@ class FaultInjector(NamingFaultGate):
         if self._covered(FaultKind.RPC_LOSS, now, node_id):
             self.telemetry.rpc_reports_lost += 1
             self.telemetry.degraded_intervals += 1
+            self._mark(f"chaos-rpc-lost:node-{node_id}")
             return False
         if self._covered(FaultKind.RPC_LATENCY, now, node_id):
             if self._probe(FaultKind.RPC_LATENCY, node_id).succeeded:
                 self.telemetry.rpc_reports_delayed += 1
+                self._mark(f"chaos-rpc-delayed:node-{node_id}")
                 return True
             self.telemetry.rpc_reports_lost += 1
             self.telemetry.degraded_intervals += 1
+            self._mark(f"chaos-rpc-lost:node-{node_id}")
             return False
         return True
 
@@ -322,5 +338,6 @@ class FaultInjector(NamingFaultGate):
         if self._covered(FaultKind.PM_STALL, now):
             self.telemetry.pm_ticks_stalled += 1
             self.telemetry.degraded_intervals += 1
+            self._mark("chaos-pm-stalled")
             return True
         return False

@@ -5,6 +5,7 @@ Exposes the benchmark framework the way an operator would use it::
     python -m repro density-study --days 2
     python -m repro quickstart --density 120 --hours 12
     python -m repro run --density 110 --hours 24 --chaos moderate
+    python -m repro run --hours 6 --trace --metrics --profile --obs-dir out
     python -m repro train --out models.xml
     python -m repro validate
     python -m repro repeatability --repeats 3 --hours 18
@@ -117,6 +118,16 @@ def cmd_run(args: argparse.Namespace) -> int:
                               seed=args.seed, maintenance=False)
     if args.chaos:
         scenario = scenario.with_chaos(chaos_profile(args.chaos))
+    obs_on = args.trace or args.metrics or args.profile
+    if obs_on:
+        import time
+        from repro.obs import ObsConfig
+        # The wall clock is injected as a function *reference*; the obs
+        # package itself never reads time (rule TL014) and wall numbers
+        # appear only in the human profile report, never in exports.
+        scenario = scenario.with_obs(ObsConfig(
+            trace=args.trace, metrics=args.metrics, profile=args.profile,
+            wall_clock=time.perf_counter if args.profile else None))
     print(f"running {scenario.name} for "
           f"{format_duration(scenario.duration)} ...")
     detsan_exit = 0
@@ -150,6 +161,18 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"creates-timed-out={chaos.creates_timed_out}, "
               f"drops-deferred={chaos.drops_deferred}, "
               f"pm-stalled={chaos.pm_ticks_stalled})")
+    if obs_on and result.obs is not None:
+        import pathlib
+        from repro.obs import (format_profile_report, git_describe,
+                               write_obs_export)
+        written = write_obs_export(result.obs, pathlib.Path(args.obs_dir),
+                                   scenario, git=git_describe())
+        for path in written:
+            print(f"wrote {path}")
+        if result.obs.profile_json is not None:
+            print()
+            print(format_profile_report(result.obs.profile_json,
+                                        top=args.profile_top))
     return detsan_exit
 
 
@@ -278,6 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "twice, cross-check the RNG/event ledgers and "
                           "the static substream registry (exit 1 on any "
                           "divergence or unknown draw site)")
+    run.add_argument("--trace", action="store_true",
+                     help="record a span per executed event (plus chaos "
+                          "gate marks) to trace.jsonl")
+    run.add_argument("--metrics", action="store_true",
+                     help="stream the metric registry per telemetry hour "
+                          "to metrics.jsonl and dump final values in "
+                          "Prometheus textfile format to metrics.prom")
+    run.add_argument("--profile", action="store_true",
+                     help="per-event-label scheduling-delay histograms "
+                          "and wall-time hot-spot report (profile.json)")
+    run.add_argument("--obs-dir", default="obs-out", metavar="DIR",
+                     help="directory for observability exports "
+                          "(default: %(default)s); a manifest.json is "
+                          "written alongside every export")
+    run.add_argument("--profile-top", type=int, default=15, metavar="N",
+                     help="rows in the printed profile report "
+                          "(default: %(default)s)")
     run.set_defaults(func=cmd_run)
 
     train = sub.add_parser("train",
@@ -322,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
     lint = sub.add_parser(
         "lint",
-        help="determinism & correctness static analysis (TL001..TL013)")
+        help="determinism & correctness static analysis (TL001..TL014)")
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 

@@ -30,6 +30,8 @@ from repro.core.population_manager import PopulationManager
 from repro.core.scenario import BenchmarkScenario
 from repro.fabric.failover import FailoverRecord
 from repro.fabric.metrics import CPU_CORES, DISK_GB
+from repro.obs.export import ObsExport
+from repro.obs.session import ObsSession
 from repro.revenue.adjusted import AdjustedRevenueReport, adjusted_revenue_report
 from repro.rng import RngRegistry
 from repro.simkernel import SimulationKernel
@@ -54,6 +56,11 @@ class BenchmarkResult:
     bootstrap_free_cores: float
     bootstrap_disk_utilization: float
     events_executed: int
+    #: Rendered observability artifacts (docs/OBSERVABILITY.md); None
+    #: when the scenario carried no enabled ObsConfig. Strings rather
+    #: than file paths so pooled workers ship them through the pickle
+    #: boundary byte-intact.
+    obs: Optional[ObsExport] = None
 
     @property
     def density(self) -> float:
@@ -82,7 +89,13 @@ class BenchmarkRunner:
     def __init__(self, scenario: BenchmarkScenario,
                  detsan: Optional["DetSanRecorder"] = None) -> None:
         self.scenario = scenario
-        self.kernel = SimulationKernel(detsan=detsan)
+        self.obs_session: Optional[ObsSession] = None
+        if scenario.obs is not None and scenario.obs.enabled:
+            self.obs_session = ObsSession(scenario.obs)
+        self.kernel = SimulationKernel(
+            detsan=detsan,
+            observer=(self.obs_session.kernel_observer
+                      if self.obs_session is not None else None))
         self.rng = RngRegistry(scenario.seed, recorder=detsan)
         self.ring = TenantRing(
             self.kernel, scenario.ring, self.rng,
@@ -116,6 +129,9 @@ class BenchmarkRunner:
                 rng_registry=self.rng, backoff=scenario.chaos.backoff,
                 population_manager=self.population_manager)
             self.injector.install()
+        if self.obs_session is not None:
+            self.obs_session.wire(self.kernel, self.ring, self.collector,
+                                  self.injector)
         self._bootstrap_free_cores = 0.0
         self._bootstrap_disk_utilization = 0.0
 
@@ -246,6 +262,8 @@ class BenchmarkRunner:
             bootstrap_free_cores=self._bootstrap_free_cores,
             bootstrap_disk_utilization=self._bootstrap_disk_utilization,
             events_executed=self.kernel.events_executed,
+            obs=(self.obs_session.render()
+                 if self.obs_session is not None else None),
         )
 
 

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 from repro.chaos.faults import ChaosConfig
 from repro.errors import ScenarioError
 from repro.core.model_xml import TotoModelDocument
+from repro.obs.config import ObsConfig
 from repro.sqldb.population import InitialPopulationSpec
 from repro.sqldb.tenant_ring import TenantRingConfig
 from repro.units import DAY, HOUR
@@ -82,6 +83,9 @@ class BenchmarkScenario:
     #: Optional fault-injection profile (docs/CHAOS.md); None runs the
     #: benchmark undisturbed.
     chaos: Optional[ChaosConfig] = None
+    #: Optional observability flags (docs/OBSERVABILITY.md); None (or an
+    #: all-off config) runs without any instrumentation attached.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,3 +122,12 @@ class BenchmarkScenario:
             return replace(self, chaos=None)
         return replace(self, name=f"{self.name}+chaos:{chaos.profile}",
                        chaos=chaos)
+
+    def with_obs(self, obs: Optional[ObsConfig]) -> "BenchmarkScenario":
+        """Copy with observability flags attached (or removed).
+
+        Deliberately leaves ``name`` unchanged: an observed run is the
+        *same* experiment — exports must be byte-comparable against the
+        unobserved run of the same scenario.
+        """
+        return replace(self, obs=obs)

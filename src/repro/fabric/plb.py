@@ -12,7 +12,7 @@ Service Fabric's PLB does (§5.2); a greedy mode exists as an ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +49,14 @@ class PlbStats:
     make_room_moves: int = 0
     stuck_violations: int = 0
     anneal_iterations: int = 0
+
+    def as_metrics(self) -> Dict[str, int]:
+        """Counter name -> value, in the field order declared above.
+
+        The observability layer registers each entry as a cumulative
+        counter (``toto_plb_<name>_total``, docs/OBSERVABILITY.md).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class PlacementAndLoadBalancer:

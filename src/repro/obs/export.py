@@ -1,0 +1,73 @@
+"""The materialized observability artifacts of one run.
+
+:class:`ObsExport` carries the rendered artifact *strings* inside the
+:class:`~repro.core.runner.BenchmarkResult`, so exports survive the
+:class:`~repro.parallel.executor.SweepExecutor` pickle boundary intact
+and can be byte-compared between serial and pooled runs before any
+file is written. :func:`write_obs_export` is the single place bytes
+reach disk — always accompanied by a manifest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.obs.manifest import build_manifest, render_manifest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles
+    from repro.core.scenario import BenchmarkScenario
+
+#: Artifact file names inside an export directory.
+TRACE_FILENAME = "trace.jsonl"
+METRICS_JSONL_FILENAME = "metrics.jsonl"
+METRICS_PROM_FILENAME = "metrics.prom"
+PROFILE_FILENAME = "profile.json"
+MANIFEST_FILENAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class ObsExport:
+    """Rendered artifacts of one run (None = feature was off)."""
+
+    trace_jsonl: Optional[str] = None
+    metrics_jsonl: Optional[str] = None
+    metrics_prom: Optional[str] = None
+    profile_json: Optional[str] = None
+
+    def artifacts(self) -> Dict[str, str]:
+        """Filename -> content for every produced artifact."""
+        produced: Dict[str, str] = {}
+        if self.trace_jsonl is not None:
+            produced[TRACE_FILENAME] = self.trace_jsonl
+        if self.metrics_jsonl is not None:
+            produced[METRICS_JSONL_FILENAME] = self.metrics_jsonl
+        if self.metrics_prom is not None:
+            produced[METRICS_PROM_FILENAME] = self.metrics_prom
+        if self.profile_json is not None:
+            produced[PROFILE_FILENAME] = self.profile_json
+        return produced
+
+
+def write_obs_export(export: ObsExport, directory: pathlib.Path,
+                     scenario: "BenchmarkScenario",
+                     git: Optional[str] = None) -> List[pathlib.Path]:
+    """Write every artifact plus ``manifest.json`` into ``directory``.
+
+    Returns the written paths (manifest last). The directory is created
+    if missing; existing artifacts are overwritten — an export is a
+    deterministic function of the scenario, so rewriting is idempotent.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for name, content in export.artifacts().items():
+        path = directory / name
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+    manifest = build_manifest(scenario, export, git=git)
+    manifest_path = directory / MANIFEST_FILENAME
+    manifest_path.write_text(render_manifest(manifest), encoding="utf-8")
+    written.append(manifest_path)
+    return written

@@ -1,0 +1,93 @@
+"""Run manifests: what exactly produced an export.
+
+Every export directory gets a ``manifest.json`` recording the inputs
+that determine the run (seed, PLB salt, chaos profile, model-document
+fingerprint) plus the code identity (``repro`` version, ``git
+describe``) and a sha256 per artifact. Deliberately absent: any
+timestamp — a manifest for the same scenario at the same code revision
+is itself byte-identical, so manifests can be diffed like the exports
+they describe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import subprocess
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles
+    from repro.core.scenario import BenchmarkScenario
+    from repro.obs.export import ObsExport
+
+#: Version stamp of the manifest schema.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def sha256_text(text: str) -> str:
+    """Hex digest of one artifact's bytes (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def git_describe(repo_root: Optional[pathlib.Path] = None) -> str:
+    """``git describe --always --dirty`` of the working tree.
+
+    Returns ``"unknown"`` where git or the repository is unavailable
+    (e.g. an installed wheel); the manifest stays writable everywhere.
+    """
+    if repo_root is None:
+        repo_root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+            check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def model_document_fingerprint(scenario: "BenchmarkScenario") -> str:
+    """Stable fingerprint of the scenario's trained model document.
+
+    The paper distributes models as an XML blob; hashing its canonical
+    serialization pins "model versions" without inventing a separate
+    version counter.
+    """
+    from repro.core.model_xml import serialize_model_xml
+    return sha256_text(serialize_model_xml(scenario.model_document))
+
+
+def build_manifest(scenario: "BenchmarkScenario", export: "ObsExport",
+                   git: Optional[str] = None) -> Dict[str, object]:
+    """Assemble the manifest dict for one run's export."""
+    from repro import __version__
+    artifacts = {name: sha256_text(text)
+                 for name, text in export.artifacts().items()}
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "scenario": {
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "plb_salt": scenario.plb_salt,
+            "duration_hours": scenario.duration_hours,
+            "density": scenario.ring.density,
+            "node_count": scenario.ring.node_count,
+            "chaos_profile": (scenario.chaos.profile
+                              if scenario.chaos is not None else None),
+        },
+        "models": {"document_sha256": model_document_fingerprint(scenario)},
+        "code": {
+            "repro_version": __version__,
+            "git_describe": git if git is not None else git_describe(),
+        },
+        "artifacts": artifacts,
+    }
+
+
+def render_manifest(manifest: Dict[str, object]) -> str:
+    """Canonical JSON encoding of a manifest."""
+    return json.dumps(manifest, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,255 @@
+"""Streaming metric export: a central registry of named counters/gauges.
+
+Components do not push values; they register *sources* (zero-argument
+callables reading live simulation state) under stable metric names.
+The registry samples every source at once — triggered by each hourly
+:class:`~repro.telemetry.collector.TelemetryFrame`, so a sample is
+exactly coherent with the frame it annotates — and renders two
+artifacts:
+
+* ``metrics.jsonl`` — one JSON line per telemetry frame with every
+  metric's value at that hour (the streamed resource series the
+  Kubernetes resource-model reproduction compares predicted vs.
+  observed consumption over);
+* ``metrics.prom`` — Prometheus textfile exposition of the final
+  values, suitable for a node-exporter textfile collector.
+
+Naming convention: every metric is prefixed ``toto_``; cumulative
+counters end in ``_total``; gauges carry bare unit-suffixed names.
+Both are enforced at registration time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple, TYPE_CHECKING
+
+from repro.obs.sink import ListSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles
+    from repro.simkernel import SimulationKernel
+    from repro.sqldb.tenant_ring import TenantRing
+    from repro.telemetry.collector import TelemetryCollector, TelemetryFrame
+
+#: A metric source: reads one value from live simulation state.
+MetricSource = Callable[[], float]
+
+_NAME_PATTERN = re.compile(r"^toto_[a-z0-9_]+$")
+
+
+class MetricRegistryError(ValueError):
+    """Invalid metric registration (bad name, duplicate, wrong kind)."""
+
+
+class MetricRegistry:
+    """Central catalogue of the run's named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, MetricSource] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help_text: str,
+                source: MetricSource) -> None:
+        """Register a cumulative counter (name must end in ``_total``)."""
+        if not name.endswith("_total"):
+            raise MetricRegistryError(
+                f"counter {name!r} must end in '_total'")
+        self._register(name, "counter", help_text, source)
+
+    def gauge(self, name: str, help_text: str, source: MetricSource) -> None:
+        """Register a point-in-time gauge."""
+        if name.endswith("_total"):
+            raise MetricRegistryError(
+                f"gauge {name!r} must not end in '_total'")
+        self._register(name, "gauge", help_text, source)
+
+    def _register(self, name: str, kind: str, help_text: str,
+                  source: MetricSource) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise MetricRegistryError(
+                f"metric name {name!r} must match {_NAME_PATTERN.pattern}")
+        if name in self._sources:
+            raise MetricRegistryError(f"metric {name!r} already registered")
+        self._sources[name] = source
+        self._kinds[name] = kind
+        self._helps[name] = help_text
+
+    # ------------------------------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        """Every registered metric name, sorted."""
+        return tuple(sorted(self._sources))
+
+    def kind(self, name: str) -> str:
+        return self._kinds[name]
+
+    def collect(self) -> List[Tuple[str, float]]:
+        """Sample every source once, in sorted-name order."""
+        return [(name, float(self._sources[name]()))
+                for name in sorted(self._sources)]
+
+    def to_prometheus(self) -> str:
+        """Prometheus textfile exposition of the current values."""
+        lines: List[str] = []
+        for name, value in self.collect():
+            lines.append(f"# HELP {name} {self._helps[name]}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            lines.append(f"{name} {value!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricStream:
+    """Per-hour JSONL sampling of a registry, driven by telemetry frames."""
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self.registry = registry
+        self._sink = ListSink()
+        self.samples = 0
+
+    def on_frame(self, frame: "TelemetryFrame") -> None:
+        """Telemetry-frame listener: sample every metric now."""
+        self._sink.emit({
+            "type": "sample",
+            "hour": frame.hour_index,
+            "time": frame.time,
+            "metrics": dict(self.registry.collect()),
+        })
+        self.samples += 1
+
+    def render(self) -> str:
+        return self._sink.render()
+
+
+# ---------------------------------------------------------------------------
+# Standard run wiring
+
+
+#: Every metric :func:`wire_run_metrics` registers, sorted — the
+#: catalogue docs/OBSERVABILITY.md documents and tests pin against.
+RUN_METRIC_NAMES: Tuple[str, ...] = (
+    "toto_active_bc_databases",
+    "toto_active_gp_databases",
+    "toto_capacity_failover_bc_cores_total",
+    "toto_capacity_failover_cores_total",
+    "toto_capacity_failovers_total",
+    "toto_chaos_degraded_intervals_total",
+    "toto_chaos_faults_injected_total",
+    "toto_chaos_retries_total",
+    "toto_core_utilization",
+    "toto_disk_usage_gb",
+    "toto_disk_utilization",
+    "toto_kernel_events_executed_total",
+    "toto_nodes_in_maintenance",
+    "toto_plb_anneal_iterations_total",
+    "toto_plb_make_room_moves_total",
+    "toto_plb_moves_total",
+    "toto_plb_placement_failures_total",
+    "toto_plb_placements_total",
+    "toto_plb_stuck_violations_total",
+    "toto_redirects_total",
+    "toto_report_sweeps_total",
+    "toto_reserved_cores",
+    "toto_rgmanager_naming_degraded_total",
+    "toto_rgmanager_rpcs_total",
+)
+
+
+def _frame_source(collector: "TelemetryCollector",
+                  attribute: str) -> MetricSource:
+    """Read one attribute off the newest telemetry frame (0.0 if none)."""
+    def read() -> float:
+        frames = collector.frames
+        if not frames:
+            return 0.0
+        return float(getattr(frames[-1], attribute))
+    return read
+
+
+def wire_run_metrics(registry: MetricRegistry, kernel: "SimulationKernel",
+                     ring: "TenantRing",
+                     collector: "TelemetryCollector") -> None:
+    """Register the standard benchmark-run metric catalogue.
+
+    Frame-derived metrics read the newest
+    :class:`~repro.telemetry.collector.TelemetryFrame` (sampling happens
+    on the frame listener, so the value is the frame's); the rest read
+    live component state at the same instant. Chaos counters are always
+    registered — they report 0 for chaos-free runs so the export schema
+    is stable across profiles.
+    """
+    frame_gauges = (
+        ("toto_reserved_cores", "reserved_cores",
+         "Reserved CPU cores on live nodes (Figure 11)."),
+        ("toto_disk_usage_gb", "disk_gb",
+         "Disk usage on live nodes in GB (Figure 11)."),
+        ("toto_core_utilization", "core_utilization",
+         "Reserved cores over cluster core capacity."),
+        ("toto_disk_utilization", "disk_utilization",
+         "Disk usage over cluster disk capacity."),
+        ("toto_active_gp_databases", "active_gp",
+         "Active Standard/GP databases."),
+        ("toto_active_bc_databases", "active_bc",
+         "Active Premium/BC databases."),
+        ("toto_nodes_in_maintenance", "nodes_in_maintenance",
+         "Nodes excluded from this frame by a maintenance upgrade."),
+    )
+    for name, attribute, help_text in frame_gauges:
+        registry.gauge(name, help_text, _frame_source(collector, attribute))
+
+    frame_counters = (
+        ("toto_redirects_total", "redirects_cumulative",
+         "Creation redirects since the official start (Figure 10)."),
+        ("toto_capacity_failovers_total", "failover_count_cumulative",
+         "Capacity failovers since the official start (Figure 12b)."),
+        ("toto_capacity_failover_cores_total", "failover_cores_cumulative",
+         "CPU cores moved by capacity failovers."),
+        ("toto_capacity_failover_bc_cores_total",
+         "failover_bc_cores_cumulative",
+         "Premium/BC cores moved by capacity failovers."),
+        ("toto_chaos_faults_injected_total", "faults_injected_cumulative",
+         "Faults activated by the chaos injector (0 without chaos)."),
+        ("toto_chaos_retries_total", "chaos_retries_cumulative",
+         "Virtual-time backoff retries spent on injected faults."),
+        ("toto_chaos_degraded_intervals_total",
+         "degraded_intervals_cumulative",
+         "Component intervals degraded by injected faults."),
+    )
+    for name, attribute, help_text in frame_counters:
+        registry.counter(name, help_text, _frame_source(collector, attribute))
+
+    plb_stats = ring.cluster.plb.stats
+    plb_help = {
+        "placements": "Successful PLB placement decisions.",
+        "placement_failures": "Placements with no feasible node set.",
+        "moves": "Replica moves performed to fix capacity violations.",
+        "make_room_moves":
+            "Proactive relocations made to fit a new placement.",
+        "stuck_violations":
+            "Capacity violations the PLB could not resolve.",
+        "anneal_iterations":
+            "Simulated-annealing iterations spent on placement.",
+    }
+    for attribute in plb_stats.as_metrics():
+        registry.counter(
+            f"toto_plb_{attribute}_total", plb_help[attribute],
+            lambda stats=plb_stats, attr=attribute: getattr(stats, attr))
+
+    registry.counter(
+        "toto_report_sweeps_total",
+        "Completed replica metric-report sweeps (Figure 5 loop).",
+        lambda: ring.report_sweeps)
+    registry.counter(
+        "toto_rgmanager_rpcs_total",
+        "Metric-report RPCs answered by RgManagers across all nodes.",
+        lambda: sum(m.rpcs_served for m in ring.rgmanagers))
+    registry.counter(
+        "toto_rgmanager_naming_degraded_total",
+        "RPCs answered from last-known-good state during naming outages.",
+        lambda: sum(m.naming_degraded for m in ring.rgmanagers))
+    registry.counter(
+        "toto_kernel_events_executed_total",
+        "Events executed by the simulation kernel.",
+        lambda: kernel.events_executed)

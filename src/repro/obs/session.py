@@ -1,0 +1,117 @@
+"""One run's observability session: glue between config and components.
+
+:class:`ObsSession` is constructed by the
+:class:`~repro.core.runner.BenchmarkRunner` when a scenario carries an
+:class:`~repro.obs.config.ObsConfig`. It implements the kernel's
+:class:`~repro.simkernel.kernel.KernelObserver` protocol (fanning each
+event to the tracer and profiler), wires the metric registry to the
+telemetry collector's frame stream, hands the chaos injector its trace
+hook, and renders the final :class:`~repro.obs.export.ObsExport`.
+
+The session is a pure observer: it schedules no events, draws no RNG,
+reads no clock (rule TL014), so a run with a session attached produces
+KPIs byte-identical to the same run without one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.obs.config import ObsConfig
+from repro.obs.export import ObsExport
+from repro.obs.metrics import MetricRegistry, MetricStream, wire_run_metrics
+from repro.obs.profile import EventProfiler
+from repro.obs.trace import SpanTracer
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles
+    from repro.chaos.injector import FaultInjector
+    from repro.simkernel import SimulationKernel
+    from repro.sqldb.tenant_ring import TenantRing
+    from repro.telemetry.collector import TelemetryCollector
+
+
+class ObsSession:
+    """Tracing, metrics, and profiling for one benchmark run."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer() if config.trace else None)
+        self.profiler: Optional[EventProfiler] = (
+            EventProfiler(clock=config.wall_clock)
+            if config.profile else None)
+        self.registry: Optional[MetricRegistry] = (
+            MetricRegistry() if config.metrics else None)
+        self.stream: Optional[MetricStream] = (
+            MetricStream(self.registry) if self.registry is not None
+            else None)
+        #: Pending schedule records keyed by event sequence:
+        #: (schedule-time, parent span id). Popped when the event fires;
+        #: entries for cancelled events linger, bounded by the number of
+        #: events the run schedules.
+        self._pending: Dict[int, Tuple[int, Optional[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # KernelObserver protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel_observer(self) -> Optional["ObsSession"]:
+        """Self when the kernel loop must call back, else None."""
+        return self if self.config.needs_kernel_observer else None
+
+    def event_scheduled(self, event: Event, now: int) -> None:
+        parent = (self.tracer.current_span
+                  if self.tracer is not None else None)
+        self._pending[event.sequence] = (now, parent)
+
+    def event_begin(self, event: Event) -> None:
+        entry = self._pending.pop(event.sequence, None)
+        scheduled_at, parent = entry if entry is not None \
+            else (event.time, None)
+        if self.tracer is not None:
+            self.tracer.begin(event, scheduled_at, parent)
+        if self.profiler is not None:
+            self.profiler.begin(event, scheduled_at)
+
+    def event_end(self, event: Event) -> None:
+        if self.profiler is not None:
+            self.profiler.end(event)
+        if self.tracer is not None:
+            self.tracer.end(event)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def wire(self, kernel: "SimulationKernel", ring: "TenantRing",
+             collector: "TelemetryCollector",
+             injector: Optional["FaultInjector"] = None) -> None:
+        """Connect the session to a run's components.
+
+        Metric sampling rides the collector's frame listener — no new
+        kernel events, so event counts and ordering are untouched.
+        """
+        if self.registry is not None and self.stream is not None:
+            wire_run_metrics(self.registry, kernel, ring, collector)
+            collector.add_frame_listener(self.stream.on_frame)
+        if self.tracer is not None and injector is not None:
+            injector.trace_hook = self.tracer.mark
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> ObsExport:
+        """Materialize every enabled artifact as deterministic text."""
+        return ObsExport(
+            trace_jsonl=(self.tracer.render()
+                         if self.tracer is not None else None),
+            metrics_jsonl=(self.stream.render()
+                           if self.stream is not None else None),
+            metrics_prom=(self.registry.to_prometheus()
+                          if self.registry is not None else None),
+            profile_json=(self.profiler.to_json()
+                          if self.profiler is not None else None),
+        )

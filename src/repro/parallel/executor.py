@@ -24,6 +24,12 @@ serial loop was used):
 * **Progress callbacks** — an optional callback observes completions
   (in completion order, the one place ordering is nondeterministic) so
   CLIs can narrate long sweeps.
+* **Observability exports cross intact** — a scenario carrying an
+  :class:`~repro.obs.config.ObsConfig` produces its rendered trace,
+  metric, and profile artifacts as *strings* inside
+  ``BenchmarkResult.obs``, so pooled workers ship them through the
+  pickle boundary byte-identical to a serial run; files only ever
+  reach disk in the parent (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations

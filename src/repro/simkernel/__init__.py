@@ -10,12 +10,13 @@ same simulated instants it would in the real deployment.
 
 from repro.simkernel.clock import SimClock
 from repro.simkernel.event import Event, EventQueue
-from repro.simkernel.kernel import SimulationKernel
+from repro.simkernel.kernel import KernelObserver, SimulationKernel
 from repro.simkernel.process import PeriodicProcess
 
 __all__ = [
     "Event",
     "EventQueue",
+    "KernelObserver",
     "PeriodicProcess",
     "SimClock",
     "SimulationKernel",

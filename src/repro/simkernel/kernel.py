@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.errors import SimulationError
 from repro.simkernel.clock import SimClock
@@ -10,6 +10,28 @@ from repro.simkernel.event import Callback, Event, EventQueue, Label
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.analysis.detsan import DetSanRecorder
+
+
+class KernelObserver(Protocol):
+    """Passive instrumentation hooks for the kernel's run loop.
+
+    An observer (e.g. :class:`repro.obs.session.ObsSession`) watches
+    events flow through the kernel: ``event_scheduled`` fires at each
+    schedule site (after the queue push), ``event_begin``/``event_end``
+    bracket each callback execution. Observers must be pure — they may
+    not schedule events, draw RNG, or mutate simulation state; the
+    kernel's event count and ordering are identical with or without
+    one attached.
+    """
+
+    def event_scheduled(self, event: Event, now: int) -> None:
+        """Called after ``event`` is pushed, with the scheduling time."""
+
+    def event_begin(self, event: Event) -> None:
+        """Called immediately before ``event.callback()`` runs."""
+
+    def event_end(self, event: Event) -> None:
+        """Called after ``event.callback()`` returns (or raises)."""
 
 
 class SimulationKernel:
@@ -23,18 +45,24 @@ class SimulationKernel:
     (:mod:`repro.analysis.detsan`): every scheduling is then appended
     to its ordered ledger.  Off by default and costs one ``is None``
     test per scheduling when off.
+
+    ``observer`` optionally attaches a :class:`KernelObserver` (run
+    observability, docs/OBSERVABILITY.md). The run loop keeps a
+    separate observed variant so the unobserved hot path is unchanged.
     """
 
     __slots__ = ("clock", "_queue", "_running", "events_executed",
-                 "_detsan")
+                 "_detsan", "_observer")
 
     def __init__(self, start: int = 0,
-                 detsan: Optional["DetSanRecorder"] = None) -> None:
+                 detsan: Optional["DetSanRecorder"] = None,
+                 observer: Optional[KernelObserver] = None) -> None:
         self.clock = SimClock(start)
         self._queue = EventQueue()
         self._running = False
         self.events_executed = 0
         self._detsan = detsan
+        self._observer = observer
 
     @property
     def now(self) -> int:
@@ -58,7 +86,10 @@ class SimulationKernel:
                 f"cannot schedule '{label}' at {time}, now is {self.clock.now}")
         if self._detsan is not None:
             self._detsan.record_event(time, label)
-        return self._queue.push(time, callback, label)
+        event = self._queue.push(time, callback, label)
+        if self._observer is not None:
+            self._observer.event_scheduled(event, self.clock.now)
+        return event
 
     def schedule_after(self, delay: int, callback: Callback,
                        label: Label = "") -> Event:
@@ -67,7 +98,10 @@ class SimulationKernel:
             raise SimulationError(f"negative delay {delay} for '{label}'")
         if self._detsan is not None:
             self._detsan.record_event(self.clock.now + delay, label)
-        return self._queue.push(self.clock.now + delay, callback, label)
+        event = self._queue.push(self.clock.now + delay, callback, label)
+        if self._observer is not None:
+            self._observer.event_scheduled(event, self.clock.now)
+        return event
 
     def run_until(self, end_time: int) -> None:
         """Execute events in order until the clock reaches ``end_time``.
@@ -87,15 +121,29 @@ class SimulationKernel:
         # of a multi-day benchmark.
         queue_pop_before = self._queue.pop_before
         clock_advance = self.clock.advance_to
+        observer = self._observer
         executed = 0
         try:
-            while True:
-                event = queue_pop_before(end_time)
-                if event is None:
-                    break
-                clock_advance(event.time)
-                event.callback()
-                executed += 1
+            if observer is None:
+                while True:
+                    event = queue_pop_before(end_time)
+                    if event is None:
+                        break
+                    clock_advance(event.time)
+                    event.callback()
+                    executed += 1
+            else:
+                while True:
+                    event = queue_pop_before(end_time)
+                    if event is None:
+                        break
+                    clock_advance(event.time)
+                    observer.event_begin(event)
+                    try:
+                        event.callback()
+                    finally:
+                        observer.event_end(event)
+                    executed += 1
             clock_advance(end_time)
         finally:
             self.events_executed += executed
@@ -106,6 +154,7 @@ class SimulationKernel:
         if self._running:
             raise SimulationError("run_to_completion is not re-entrant")
         self._running = True
+        observer = self._observer
         try:
             executed = 0
             while True:
@@ -117,7 +166,14 @@ class SimulationKernel:
                     raise SimulationError(
                         f"exceeded {max_events} events; likely a scheduling loop")
                 self.clock.advance_to(event.time)
-                event.callback()
+                if observer is None:
+                    event.callback()
+                else:
+                    observer.event_begin(event)
+                    try:
+                        event.callback()
+                    finally:
+                        observer.event_end(event)
                 self.events_executed += 1
         finally:
             self._running = False

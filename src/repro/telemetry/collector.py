@@ -13,8 +13,9 @@ reproducing the telemetry outliers the paper calls out in Figure 11.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.errors import UnknownDatabaseError
 from repro.fabric.metrics import CPU_CORES, DISK_GB
 from repro.simkernel import PeriodicProcess, SimulationKernel
 from repro.sqldb.editions import Edition
@@ -62,15 +63,45 @@ class TelemetryCollector:
         self._start_time: Optional[int] = None
         self._process = PeriodicProcess(kernel, interval, self._snapshot,
                                         label="telemetry-collector")
+        # Incremental failover rollup: ``cluster.failovers`` only ever
+        # grows, so each snapshot folds the records appended since the
+        # previous one into running totals instead of rescanning the
+        # whole (multi-thousand-record, multi-day) list every hour.
+        self._failover_cursor = 0
+        self._failover_count = 0
+        self._failover_cores = 0.0
+        self._failover_bc_cores = 0.0
+        self._frame_listeners: List[Callable[[TelemetryFrame], None]] = []
 
     def start(self) -> None:
-        """Begin hourly snapshots; hour 0 is captured immediately."""
-        self._start_time = self._kernel.now
-        self._snapshot(self._kernel.now)
+        """Begin hourly snapshots; hour 0 is captured immediately.
+
+        Idempotent: calling ``start()`` while already collecting is a
+        no-op (no duplicate hour-0 frame, no second periodic process).
+        After a ``stop()``, ``start()`` resumes collection but keeps
+        the original start time, so ``hour_index`` stays anchored to
+        the experiment's official start.
+        """
+        if self._process.running:
+            return
+        if self._start_time is None:
+            self._start_time = self._kernel.now
+        if not self.frames or self.frames[-1].time != self._kernel.now:
+            self._snapshot(self._kernel.now)
         self._process.start()
 
     def stop(self) -> None:
         self._process.stop()
+
+    def add_frame_listener(
+            self, listener: Callable[[TelemetryFrame], None]) -> None:
+        """Call ``listener`` with every frame as it is captured.
+
+        Listeners ride the existing snapshot events — registering one
+        schedules nothing and must not mutate simulation state (the
+        observability layer uses this to sample metrics per hour).
+        """
+        self._frame_listeners.append(listener)
 
     def capture_final(self) -> None:
         """Take a closing snapshot (events exactly at the run's end
@@ -95,21 +126,27 @@ class TelemetryCollector:
         core_capacity = cluster.total_capacity(CPU_CORES)
         disk_capacity = cluster.total_capacity(DISK_GB)
 
-        bc_cores = 0.0
-        total_cores = 0.0
-        failover_count = 0
-        for record in cluster.failovers:
+        failovers = cluster.failovers
+        for record in failovers[self._failover_cursor:]:
             if not record.is_capacity_failover:
                 continue
-            failover_count += 1
-            total_cores += record.cores_moved
-            database = control_plane.database(record.service_id)
-            if database.edition is Edition.PREMIUM_BC:
-                bc_cores += record.cores_moved
+            self._failover_count += 1
+            self._failover_cores += record.cores_moved
+            try:
+                edition = control_plane.database(record.service_id).edition
+            except UnknownDatabaseError:
+                # Mirror FailoverKpis.from_records: records for databases
+                # the control plane never registered (bootstrap
+                # artifacts) default to the majority edition instead of
+                # aborting the hourly snapshot.
+                edition = Edition.STANDARD_GP
+            if edition is Edition.PREMIUM_BC:
+                self._failover_bc_cores += record.cores_moved
+        self._failover_cursor = len(failovers)
 
         chaos = self._ring.chaos
         start = self._start_time if self._start_time is not None else now
-        self.frames.append(TelemetryFrame(
+        frame = TelemetryFrame(
             time=now,
             hour_index=(now - start) // HOUR,
             reserved_cores=reserved,
@@ -119,9 +156,9 @@ class TelemetryCollector:
             active_gp=control_plane.active_count(Edition.STANDARD_GP),
             active_bc=control_plane.active_count(Edition.PREMIUM_BC),
             redirects_cumulative=control_plane.redirect_count(),
-            failover_count_cumulative=failover_count,
-            failover_cores_cumulative=total_cores,
-            failover_bc_cores_cumulative=bc_cores,
+            failover_count_cumulative=self._failover_count,
+            failover_cores_cumulative=self._failover_cores,
+            failover_bc_cores_cumulative=self._failover_bc_cores,
             nodes_in_maintenance=maintenance_count,
             node_cores=tuple(n.load(CPU_CORES) for n in cluster.nodes),
             node_disk_gb=tuple(n.load(DISK_GB) for n in cluster.nodes),
@@ -131,7 +168,10 @@ class TelemetryCollector:
                 0 if chaos is None else chaos.telemetry.retries),
             degraded_intervals_cumulative=(
                 0 if chaos is None else chaos.telemetry.degraded_intervals),
-        ))
+        )
+        self.frames.append(frame)
+        for listener in self._frame_listeners:
+            listener(frame)
 
     # ------------------------------------------------------------------
 

@@ -279,6 +279,59 @@ class TestTL009ChaosNeverSleeps:
         assert "TL009" not in codes(report)
 
 
+OBS = "src/repro/obs/fixture.py"
+
+
+class TestTL014ObservabilityIsPassive:
+    def test_fires_on_time_import(self):
+        # The *import* is banned, before any call happens (TL001 only
+        # flags call sites).
+        report = lint_source("import time\n", path=OBS)
+        assert codes(report) == ["TL014"]
+
+    def test_fires_on_from_import_of_clock(self):
+        report = lint_source("from time import perf_counter\n", path=OBS)
+        assert "TL014" in codes(report)
+
+    def test_fires_on_rng_imports(self):
+        assert "TL014" in codes(lint_source(
+            "from repro.rng import RngRegistry\n", path=OBS))
+        assert "TL014" in codes(lint_source(
+            "import numpy.random\n", path=OBS))
+        assert "TL014" in codes(lint_source(
+            "import random\n", path=OBS))
+        assert "TL014" in codes(lint_source(
+            "import datetime\n", path=OBS))
+
+    def test_fires_on_draw_method_calls(self):
+        report = lint_source("def sample(rng):\n"
+                             "    return rng.integers(10)\n", path=OBS)
+        assert "TL014" in codes(report)
+        report = lint_source("def derive(registry):\n"
+                             "    return registry.stream('obs')\n",
+                             path=OBS)
+        assert "TL014" in codes(report)
+
+    def test_silent_on_passive_code(self):
+        report = lint_source(
+            "import hashlib\n"
+            "import json\n\n"
+            "def render(records):\n"
+            "    text = json.dumps(records, sort_keys=True)\n"
+            "    return hashlib.sha256(text.encode()).hexdigest()\n",
+            path=OBS)
+        assert "TL014" not in codes(report)
+
+    def test_out_of_scope_package_is_not_checked(self):
+        report = lint_source("import datetime\n", path=STATS)
+        assert "TL014" not in codes(report)
+
+    def test_real_obs_package_is_clean(self):
+        report = lint_paths([REPO / "src" / "repro" / "obs"],
+                            rules=get_rules(["TL014"]))
+        assert codes(report) == []
+
+
 class TestSuppression:
     BAD_LINE = "def stamp():\n    import time\n    return time.time()"
 
@@ -324,7 +377,7 @@ class TestEngine:
 
     def test_catalogue_is_complete(self):
         assert [rule.code for rule in all_rules()] == [
-            f"TL{n:03d}" for n in range(1, 14)]
+            f"TL{n:03d}" for n in range(1, 15)]
         for rule in all_rules():
             assert rule.title and rule.rationale
 

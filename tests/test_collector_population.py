@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ScenarioError
+from repro.fabric.failover import FailoverRecord
+from repro.fabric.replica import ReplicaRole
 from repro.sqldb.editions import Edition
 from repro.sqldb.population import (
     InitialPopulationSpec,
@@ -78,6 +80,137 @@ class TestCollector:
         collector = TelemetryCollector(kernel, ring)
         with pytest.raises(IndexError):
             collector.last
+
+
+def _capacity_failover(service_id: str, time: int = 0,
+                       cores: float = 4.0) -> FailoverRecord:
+    return FailoverRecord(
+        time=time, service_id=service_id, replica_id=1,
+        role=ReplicaRole.PRIMARY, from_node=0, to_node=1,
+        metric="cpu_cores", cores_moved=cores, disk_moved_gb=10.0,
+        downtime_seconds=5.0, rebuild_seconds=60.0)
+
+
+class TestCollectorBugfixes:
+    """Regression tests for the telemetry-collector fixes."""
+
+    def test_unknown_database_fallback(self, kernel, rng_registry):
+        # A failover record for a service the control plane never
+        # registered (bootstrap artifact) must not abort the snapshot;
+        # it defaults to the majority edition, mirroring
+        # FailoverKpis.from_records. Pre-fix this raised
+        # UnknownDatabaseError out of the hourly snapshot event.
+        ring = make_ring(kernel, rng_registry)
+        ring.cluster.failovers.append(_capacity_failover("ghost-service"))
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        frame = collector.last
+        assert frame.failover_count_cumulative == 1
+        assert frame.failover_cores_cumulative == pytest.approx(4.0)
+        # Majority-edition fallback: counted as GP, not BC.
+        assert frame.failover_bc_cores_cumulative == 0.0
+
+    def test_incremental_rollup_matches_full_rescan(self, kernel,
+                                                    rng_registry):
+        ring = make_ring(kernel, rng_registry, node_count=4)
+        db = ring.control_plane.create_database("BC_Gen5_2", now=0,
+                                                initial_data_gb=40.0)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        # Records appended *between* snapshots land in the next frame's
+        # cumulative totals exactly as a from-scratch rescan would put
+        # them; non-capacity moves are excluded either way.
+        ring.cluster.failovers.append(
+            _capacity_failover(db.db_id, time=10, cores=2.0))
+        ring.cluster.failovers.append(
+            FailoverRecord(
+                time=20, service_id=db.db_id, replica_id=2,
+                role=ReplicaRole.SECONDARY, from_node=1, to_node=2,
+                metric="cpu_cores", cores_moved=2.0, disk_moved_gb=1.0,
+                downtime_seconds=0.0, rebuild_seconds=1.0,
+                reason="make-room"))
+        kernel.run_until(HOUR + 1)
+        ring.cluster.failovers.append(
+            _capacity_failover("ghost", time=HOUR + 2, cores=3.0))
+        kernel.run_until(2 * HOUR + 1)
+
+        counts = [f.failover_count_cumulative for f in collector.frames]
+        cores = [f.failover_cores_cumulative for f in collector.frames]
+        bc = [f.failover_bc_cores_cumulative for f in collector.frames]
+        assert counts == [0, 1, 2]
+        assert cores == pytest.approx([0.0, 2.0, 5.0])
+        assert bc == pytest.approx([0.0, 2.0, 2.0])  # ghost falls back to GP
+
+    def test_start_is_idempotent(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        collector.start()  # second start: no duplicate frame, no raise
+        assert len(collector.frames) == 1
+        kernel.run_until(2 * HOUR + 1)
+        # One periodic process, not two: exactly one frame per hour.
+        assert [f.time for f in collector.frames] == [0, HOUR, 2 * HOUR]
+
+    def test_restart_after_stop_keeps_hour_anchor(self, kernel,
+                                                  rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(HOUR + 1)
+        collector.stop()
+        kernel.run_until(3 * HOUR)
+        collector.start()  # resumes; hour_index still anchored at t=0
+        assert collector.last.hour_index == 3
+
+    def test_mid_run_start_offsets_hour_index(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        kernel.run_until(2 * HOUR)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(3 * HOUR + 1)
+        # hour_index counts from the collector's own start, not t=0.
+        assert [f.hour_index for f in collector.frames] == [0, 1]
+
+    def test_capture_final_safe_before_start(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.capture_final()
+        assert len(collector.frames) == 1
+        # A subsequent start() at the same instant must not duplicate
+        # the frame (pre-fix it appended a second time-0 frame).
+        collector.start()
+        assert [f.time for f in collector.frames] == [0]
+
+    def test_capture_final_dedup_at_exact_boundary(self, kernel,
+                                                   rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        # Events exactly at end_time are not executed (half-open
+        # interval), so the boundary frame comes from capture_final —
+        # and capturing twice adds nothing.
+        kernel.run_until(2 * HOUR)
+        collector.capture_final()
+        collector.capture_final()
+        assert [f.time for f in collector.frames] == [0, HOUR, 2 * HOUR]
+
+    def test_series_chaos_counters_chaos_free(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        collector.start()
+        kernel.run_until(2 * HOUR + 1)
+        assert collector.series("faults_injected_cumulative") == [0, 0, 0]
+        assert collector.series("chaos_retries_cumulative") == [0, 0, 0]
+        assert collector.series("degraded_intervals_cumulative") == [0, 0, 0]
+
+    def test_frame_listener_called_per_frame(self, kernel, rng_registry):
+        ring = make_ring(kernel, rng_registry)
+        collector = TelemetryCollector(kernel, ring)
+        seen = []
+        collector.add_frame_listener(seen.append)
+        collector.start()
+        kernel.run_until(2 * HOUR + 1)
+        assert seen == collector.frames
 
 
 class TestPopulationMix:

@@ -16,6 +16,7 @@ README = (REPO / "README.md").read_text()
 DESIGN = (REPO / "DESIGN.md").read_text()
 EXPERIMENTS = (REPO / "EXPERIMENTS.md").read_text()
 CHAOS_DOC = (REPO / "docs" / "CHAOS.md").read_text()
+OBS_DOC = (REPO / "docs" / "OBSERVABILITY.md").read_text()
 
 
 class TestExamples:
@@ -110,7 +111,7 @@ class TestStaticAnalysisDoc:
 
     def test_readme_mentions_the_runtime_half(self):
         assert "--detsan" in README
-        assert "TL001–TL013" in README
+        assert "TL001–TL014" in README
 
     def test_committed_baseline_is_empty_and_valid(self):
         import json
@@ -118,6 +119,55 @@ class TestStaticAnalysisDoc:
             (REPO / "totolint-baseline.json").read_text())
         assert payload["entries"] == [], \
             "the tree should lint clean; burn findings down, don't park them"
+
+
+class TestObsDoc:
+    def test_readme_and_experiments_cover_obs(self):
+        assert "docs/OBSERVABILITY.md" in README
+        for flag in ("--trace", "--metrics", "--profile", "--obs-dir"):
+            assert flag in README, f"README does not mention {flag}"
+            assert flag in OBS_DOC, \
+                f"docs/OBSERVABILITY.md does not mention {flag}"
+        assert "--metrics" in EXPERIMENTS
+
+    def test_every_artifact_filename_documented(self):
+        from repro.obs.export import (
+            MANIFEST_FILENAME,
+            METRICS_JSONL_FILENAME,
+            METRICS_PROM_FILENAME,
+            PROFILE_FILENAME,
+            TRACE_FILENAME,
+        )
+        for name in (TRACE_FILENAME, METRICS_JSONL_FILENAME,
+                     METRICS_PROM_FILENAME, PROFILE_FILENAME,
+                     MANIFEST_FILENAME):
+            assert name in OBS_DOC, \
+                f"docs/OBSERVABILITY.md does not document {name}"
+
+    def test_every_run_metric_documented(self):
+        from repro.obs import RUN_METRIC_NAMES
+        for name in RUN_METRIC_NAMES:
+            assert f"`{name}`" in OBS_DOC, \
+                f"docs/OBSERVABILITY.md does not document metric {name}"
+
+    def test_trace_schema_fields_documented(self):
+        for field in ("t_sched", "t_fire", "parent", "label", "seq"):
+            assert f"`{field}`" in OBS_DOC, \
+                f"docs/OBSERVABILITY.md does not document field {field}"
+
+    def test_determinism_contract_documented(self):
+        assert "TL014" in OBS_DOC
+        assert "byte-identical" in OBS_DOC
+        assert "add_frame_listener" in OBS_DOC
+        assert "KernelObserver" in OBS_DOC
+
+    def test_chaos_mark_labels_match_code(self):
+        import re as _re
+        injector_source = (REPO / "src" / "repro" / "chaos"
+                           / "injector.py").read_text()
+        for label in _re.findall(r'_mark\(f?"([a-z-]+)', injector_source):
+            assert label in OBS_DOC, \
+                f"docs/OBSERVABILITY.md misses chaos mark label {label}"
 
 
 class TestDesignIndex:

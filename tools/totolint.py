@@ -7,7 +7,7 @@ and delegates to :mod:`repro.analysis.cli`. Exit codes are stable —
 
 Usage::
 
-    python tools/totolint.py                       # lint src/repro (TL001..TL013)
+    python tools/totolint.py                       # lint src/repro (TL001..TL014)
     python tools/totolint.py --format json         # CI artifact
     python tools/totolint.py --sarif               # SARIF 2.1.0
     python tools/totolint.py --baseline totolint-baseline.json
