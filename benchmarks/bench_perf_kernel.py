@@ -31,14 +31,20 @@ def pump_kernel(target_events: int) -> dict:
     def make_chain(period, offset):
         def tick():
             fired[0] += 1
-            kernel.schedule_after(period, tick, label="chain")
+            kernel.schedule_oneshot_after(period, tick, label="chain")
             cancelled = None
             for burst in range(BURST):
-                event = kernel.schedule_after(
-                    burst + 1, lambda: fired.__setitem__(0, fired[0] + 1),
-                    label="one-shot")
                 if burst % 3 == 0:
-                    cancelled = event
+                    # Cancellation needs a handle: full schedule path.
+                    cancelled = kernel.schedule_after(
+                        burst + 1,
+                        lambda: fired.__setitem__(0, fired[0] + 1),
+                        label="one-shot")
+                else:
+                    kernel.schedule_oneshot_after(
+                        burst + 1,
+                        lambda: fired.__setitem__(0, fired[0] + 1),
+                        label="one-shot")
             if cancelled is not None:
                 cancelled.cancel()
         return tick

@@ -4,6 +4,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full
     PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick --check
+        # regression gate: re-measure the kernel and fail (exit 1) on a
+        # >20% drop against the committed BENCH_perf.json; writes nothing
 
 Records three headline numbers so future PRs can compare against the
 current state instead of guessing:
@@ -13,12 +16,21 @@ current state instead of guessing:
 * ``single_run`` — events/sec of one full benchmark run (models, PLB,
   telemetry included), the number that dominates every study;
 * ``sweep`` — wall-clock of the 4-density x N-seed sweep at
-  ``workers=1`` vs ``workers=4`` and the resulting speedup;
+  ``workers=1`` vs ``workers=4`` and the resulting speedup. The block
+  records ``effective_cores``; when the machine has fewer cores than
+  workers the speedup is reported as ``null`` with a ``"cpu-bound"``
+  note (process parallelism cannot pay without cores — a ~1.0x wall
+  ratio there is expected, not a parallelism regression);
 * ``lint`` — cold vs. content-hash-cached whole-program analysis of
   ``src/repro`` (``benchmarks/bench_lint.py``).
 
 The JSON lands in the repo root as ``BENCH_perf.json``; commit it so
 the trajectory is versioned alongside the code it measures.
+
+Methodology: the kernel number is the best of three passes — the shared
+bench machine throttles unpredictably, and the best pass is the stable
+estimate of what the code can do (the quantity the trajectory tracks),
+while single passes swing 2x with machine load.
 """
 
 from __future__ import annotations
@@ -41,6 +53,37 @@ from repro.experiments.scenarios import paper_scenario  # noqa: E402
 from repro.parallel import SweepExecutor  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: --check fails when the re-measured kernel throughput drops more than
+#: this fraction below the committed number.
+REGRESSION_TOLERANCE = 0.20
+#: Passes for the best-of-N kernel measurement.
+KERNEL_PASSES = 3
+
+
+def bench_kernel(target_events: int) -> dict:
+    """Best-of-N kernel microbenchmark (see module docstring)."""
+    best = None
+    for _ in range(KERNEL_PASSES):
+        result = pump_kernel(target_events)
+        if best is None or result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    best["passes"] = KERNEL_PASSES
+    return best
+
+
+def check_kernel_regression(measured: float, out_path: str) -> int:
+    """Gate: compare ``measured`` against the committed record."""
+    path = pathlib.Path(out_path)
+    if not path.exists():
+        print(f"no committed {path.name}; nothing to compare against")
+        return 0
+    committed = json.loads(path.read_text())["kernel_events_per_sec"]
+    floor = committed * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(f"kernel events/sec: measured {measured:,.0f} vs committed "
+          f"{committed:,.0f} (floor {floor:,.0f}) -> {verdict}")
+    return 0 if measured >= floor else 1
 
 
 def bench_single_run(days: float, seed: int = 42) -> dict:
@@ -74,6 +117,9 @@ def bench_sweep(days: float, seeds: tuple, workers: int) -> dict:
 
     identical = all(a.kpis == b.kpis and a.frames == b.frames
                     for a, b in zip(serial, parallel))
+    effective_cores = os.cpu_count() or 1
+    measured_ratio = round(serial_seconds / parallel_seconds, 2)
+    cpu_bound = effective_cores < workers
     return {
         "densities": list(densities),
         "seeds": list(seeds),
@@ -82,7 +128,16 @@ def bench_sweep(days: float, seeds: tuple, workers: int) -> dict:
         "serial_seconds": round(serial_seconds, 2),
         "parallel_seconds": round(parallel_seconds, 2),
         "workers": workers,
-        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "effective_cores": effective_cores,
+        # With fewer cores than workers the wall ratio measures
+        # scheduling overhead, not parallelism; null keeps the number
+        # from being read as a regression. measured_ratio preserves the
+        # raw observation either way.
+        "speedup": None if cpu_bound else measured_ratio,
+        "speedup_note": ("cpu-bound: %d core(s) < %d workers"
+                         % (effective_cores, workers)) if cpu_bound
+                        else "parallel speedup over serial",
+        "measured_ratio": measured_ratio,
         "mode": executor.last_mode,
         "results_identical": identical,
     }
@@ -94,6 +149,9 @@ def main(argv=None) -> int:
                         help="small configuration for CI smoke runs")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--out", default=str(OUT_PATH))
+    parser.add_argument("--check", action="store_true",
+                        help="re-measure the kernel only and fail on a "
+                             ">20%% regression vs the committed record")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -103,8 +161,12 @@ def main(argv=None) -> int:
             400_000, 6.0, 0.5, (42, 43, 44))
 
     print("kernel microbenchmark ...", flush=True)
-    kernel = pump_kernel(kernel_events)
-    print(f"  {kernel['events_per_sec']:,.0f} events/sec")
+    kernel = bench_kernel(kernel_events)
+    print(f"  {kernel['events_per_sec']:,.0f} events/sec "
+          f"(best of {kernel['passes']})")
+
+    if args.check:
+        return check_kernel_regression(kernel["events_per_sec"], args.out)
 
     print(f"single {run_days:g}-day run ...", flush=True)
     single = bench_single_run(run_days)
@@ -114,9 +176,10 @@ def main(argv=None) -> int:
     print(f"4-density x {len(seeds)}-seed sweep, workers=1 vs "
           f"{args.workers} ...", flush=True)
     sweep = bench_sweep(sweep_days, seeds, args.workers)
+    shown = sweep["speedup"] if sweep["speedup"] is not None \
+        else f"{sweep['measured_ratio']} [{sweep['speedup_note']}]"
     print(f"  serial {sweep['serial_seconds']}s, parallel "
-          f"{sweep['parallel_seconds']}s -> {sweep['speedup']}x "
-          f"({sweep['mode']})")
+          f"{sweep['parallel_seconds']}s -> {shown} ({sweep['mode']})")
 
     print("whole-program lint, cold vs cached ...", flush=True)
     lint = bench_lint(repeats=1 if args.quick else 3)

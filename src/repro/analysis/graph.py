@@ -42,10 +42,12 @@ from repro.analysis.engine import (
 )
 
 #: Bump when the extract shape changes; stale caches are discarded.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Methods that draw from (or derive seeds off) an RNG registry.
-DRAW_METHODS = frozenset({"stream", "derive_seed", "fork"})
+#: ``batched`` is the vectorized façade — it acquires the same named
+#: substream as ``stream`` and is audited identically (TL010..TL012).
+DRAW_METHODS = frozenset({"stream", "derive_seed", "fork", "batched"})
 
 #: Call names whose function-valued arguments become hot roots:
 #: ``schedule(time, callback)``, ``schedule_after(delay, callback)``,
@@ -53,6 +55,8 @@ DRAW_METHODS = frozenset({"stream", "derive_seed", "fork"})
 _CALLBACK_SLOTS: Dict[str, Tuple[int, Tuple[str, ...]]] = {
     "schedule": (1, ("callback",)),
     "schedule_after": (1, ("callback",)),
+    "schedule_oneshot": (1, ("callback",)),
+    "schedule_oneshot_after": (1, ("callback",)),
     "PeriodicProcess": (2, ("tick",)),
 }
 

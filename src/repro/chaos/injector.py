@@ -156,7 +156,7 @@ class FaultInjector(NamingFaultGate):
                 target = int(self._target_rng.integers(
                     self.ring.cluster.node_count))
             self._windows[spec.kind].append((start, end, target))
-            self.kernel.schedule(
+            self.kernel.schedule_oneshot(
                 start, lambda s=spec, t=target, e=end: self._activate(s, t, e),
                 label=f"chaos-{spec.kind.value}")
 
@@ -192,8 +192,9 @@ class FaultInjector(NamingFaultGate):
             return  # already down from an overlapping crash
         cluster.fail_node(node_id, self.kernel.now)
         self.telemetry.node_crashes_applied += 1
-        self.kernel.schedule(end, lambda n=node_id: self._restore_node(n),
-                             label=f"chaos-restore-node-{node_id}")
+        self.kernel.schedule_oneshot(
+            end, lambda n=node_id: self._restore_node(n),
+            label=f"chaos-restore-node-{node_id}")
 
     def _restore_node(self, node_id: int) -> None:
         cluster = self.ring.cluster
@@ -206,8 +207,8 @@ class FaultInjector(NamingFaultGate):
         if self._stale_depth == 0:
             self._stale_snapshot = self.ring.cluster.naming.snapshot()
         self._stale_depth += 1
-        self.kernel.schedule(end, self._exit_stale_window,
-                             label="chaos-stale-window-end")
+        self.kernel.schedule_oneshot(end, self._exit_stale_window,
+                                     label="chaos-stale-window-end")
 
     def _exit_stale_window(self) -> None:
         self._stale_depth = max(self._stale_depth - 1, 0)

@@ -13,10 +13,13 @@ interferes with the reservation metric the PLB enforces.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.core.hourly_schedule import HourlyNormalSchedule
 from repro.core.model_base import ModelContext, ResourceModel
 from repro.core.selectors import DatabaseSelector
 from repro.fabric.metrics import CPU_USED_CORES
+from repro.sqldb.database import DatabaseInstance
 
 __all__ = ["CPU_USED_CORES", "CpuUsageModel"]
 
@@ -40,18 +43,30 @@ class CpuUsageModel(ResourceModel):
     def kind(self) -> str:
         return "CpuUsageModel"
 
-    def _sample_utilization(self, context: ModelContext) -> float:
-        mu, sigma = self.utilization.params_at(context.now,
-                                               self.start_weekday)
-        draw = float(context.rng.normal(mu, sigma)) if sigma > 0 else mu
-        return min(max(draw, 0.0), 1.0)
+    def utilization_params(self, now: int) -> Tuple[float, float]:
+        """(mu, sigma) of the utilization draw at ``now``.
+
+        Split out so a sweep can assemble one batched draw for every
+        replica on a node (RgManager's vectorized CPU observation);
+        the value derivation from the raw draw lives in
+        :meth:`value_from_utilization`.
+        """
+        return self.utilization.params_at(now, self.start_weekday)
+
+    def value_from_utilization(self, draw: float, is_primary: bool,
+                               database: DatabaseInstance) -> float:
+        """Used cores from one raw utilization draw."""
+        utilization = min(max(draw, 0.0), 1.0)
+        if not is_primary:
+            utilization *= self.secondary_fraction
+        return utilization * database.slo.cores
 
     def initial_value(self, context: ModelContext) -> float:
         """Fresh replicas start effectively idle."""
         return 0.0
 
     def next_value(self, context: ModelContext) -> float:
-        utilization = self._sample_utilization(context)
-        if not context.is_primary:
-            utilization *= self.secondary_fraction
-        return utilization * context.database.slo.cores
+        mu, sigma = self.utilization_params(context.now)
+        draw = float(context.rng.normal(mu, sigma)) if sigma > 0 else mu
+        return self.value_from_utilization(draw, context.is_primary,
+                                           context.database)

@@ -14,11 +14,13 @@ equal-probability ring-selection assumption (§4.1.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import ModelSpecError
 from repro.core.hourly_schedule import DayType, HourlyNormalSchedule
+from repro.rng import BatchedStream
 from repro.sqldb.editions import Edition
 
 
@@ -50,6 +52,21 @@ class CreateDropModel:
         mu, sigma = schedule.params(daytype, hour)
         draw = rng.normal(mu, sigma) if sigma > 0 else mu
         return max(0, int(round(draw)))
+
+    def sample_counts(self, daytype: DayType, hour: int,
+                      batch: BatchedStream) -> Tuple[int, int]:
+        """Draw ``(n_creates, n_drops)`` for the hour in one numpy call.
+
+        Draw-for-draw identical to :meth:`sample_creates` followed by
+        :meth:`sample_drops` on the wrapped stream — the two hourly
+        cells go through one masked array-parameter normal draw (a
+        zero-sigma cell consumes no randomness, as in the scalar path).
+        """
+        mu_c, sigma_c = self.creates.params(daytype, hour)
+        mu_d, sigma_d = self.drops.params(daytype, hour)
+        draws = batch.normals((mu_c, mu_d), (sigma_c, sigma_d))
+        return (max(0, int(round(float(draws[0])))),
+                max(0, int(round(float(draws[1])))))
 
     def expected_creates(self, daytype: DayType, hour: int) -> float:
         """Mean creates for a cell (used in reports and calibration)."""

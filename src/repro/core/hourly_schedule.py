@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ModelSpecError
 from repro.units import HOUR, is_weekend
@@ -47,6 +49,13 @@ class HourlyNormalSchedule:
 
     cells: Dict[Key, Tuple[float, float]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Hot-path caches, invalidated by :meth:`set`: ``params_at`` is
+        # called once per replica per report sweep, and the batched
+        # samplers want whole-day parameter arrays.
+        self._slot_cache: Optional[Tuple[int, int, float, float]] = None
+        self._array_cache: Dict[DayType, Tuple[np.ndarray, np.ndarray]] = {}
+
     @classmethod
     def constant(cls, mu: float, sigma: float) -> "HourlyNormalSchedule":
         """Schedule with the same parameters in every cell."""
@@ -70,6 +79,8 @@ class HourlyNormalSchedule:
         if sigma < 0:
             raise ModelSpecError(f"sigma must be >= 0, got {sigma}")
         self.cells[(daytype, hour)] = (float(mu), float(sigma))
+        self._slot_cache = None
+        self._array_cache.clear()
 
     def params(self, daytype: DayType, hour: int) -> Tuple[float, float]:
         """(mu, sigma) for a cell; raises when the cell is missing."""
@@ -83,9 +94,39 @@ class HourlyNormalSchedule:
 
     def params_at(self, timestamp: int,
                   start_weekday: int = 0) -> Tuple[float, float]:
-        """(mu, sigma) at a simulation timestamp."""
-        return self.params(DayType.of(timestamp, start_weekday),
-                           (timestamp % (24 * HOUR)) // HOUR)
+        """(mu, sigma) at a simulation timestamp.
+
+        Memoized per hour slot: every replica's report in a sweep asks
+        for the same cell, so the day-type/hour derivation and the dict
+        lookup are done once per simulated hour instead of per draw.
+        """
+        slot = timestamp // HOUR
+        cached = self._slot_cache
+        if cached is not None and cached[0] == slot \
+                and cached[1] == start_weekday:
+            return cached[2], cached[3]
+        mu, sigma = self.params(DayType.of(timestamp, start_weekday),
+                                (timestamp % (24 * HOUR)) // HOUR)
+        self._slot_cache = (slot, start_weekday, mu, sigma)
+        return mu, sigma
+
+    def params_arrays(self, daytype: DayType) -> Tuple[np.ndarray,
+                                                       np.ndarray]:
+        """``(mu[24], sigma[24])`` arrays for one day type, cached.
+
+        The batched samplers assemble their single numpy draw from
+        these instead of 24 dict lookups; requires a complete schedule.
+        """
+        cached = self._array_cache.get(daytype)
+        if cached is None:
+            self.validate()
+            mus = np.array([self.cells[(daytype, hour)][0]
+                            for hour in HOURS], dtype=float)
+            sigmas = np.array([self.cells[(daytype, hour)][1]
+                               for hour in HOURS], dtype=float)
+            cached = (mus, sigmas)
+            self._array_cache[daytype] = cached
+        return cached
 
     def scaled(self, factor: float) -> "HourlyNormalSchedule":
         """Scale every cell's mu and sigma by ``factor``.

@@ -28,6 +28,7 @@ from repro.core.disk_models import DiskUsageModel
 from repro.core.hourly_schedule import DayType
 from repro.core.model_xml import TotoModelDocument
 from repro.core.population_models import PopulationModels
+from repro.rng import BatchedStream
 from repro.simkernel import PeriodicProcess, SimulationKernel
 from repro.sqldb.control_plane import ControlPlane
 from repro.sqldb.editions import Edition
@@ -76,6 +77,10 @@ class PopulationManager:
         self._control_plane = control_plane
         self._models = models
         self._rng = rng
+        # Batched view of the same stream: hourly counts and drop
+        # offsets are drawn as whole arrays, byte-identical to the
+        # scalar loop (see repro.rng.BatchedStream).
+        self._batch = BatchedStream(rng)
         self._document = model_document
         self.start_weekday = start_weekday
         self.stats = PopulationManagerStats()
@@ -132,20 +137,24 @@ class PopulationManager:
         hour = hour_of_day(now)
         for edition in self._models.editions:
             model: CreateDropModel = self._models.create_drop[edition]
-            n_creates = model.sample_creates(daytype, hour, self._rng)
-            n_drops = model.sample_drops(daytype, hour, self._rng)
+            n_creates, n_drops = model.sample_counts(daytype, hour,
+                                                     self._batch)
             for _ in range(n_creates):
                 request = self._sample_create(now, edition)
                 self.request_log.append(request)
-                self._kernel.schedule(
+                self._kernel.schedule_oneshot(
                     request.at, lambda r=request: self._execute_create(r),
                     label=self._create_labels[edition])
-            for _ in range(n_drops):
-                offset = int(self._rng.integers(0, HOUR))
-                self._kernel.schedule(
-                    now + offset,
-                    lambda e=edition: self._execute_drop(e),
-                    label=self._drop_labels[edition])
+            if n_drops:
+                # All of this hour's drop offsets in one draw; the
+                # scalar path drew them back-to-back, so the sequence
+                # is unchanged.
+                offsets = self._batch.integers(0, HOUR, n_drops)
+                for offset in offsets:
+                    self._kernel.schedule_oneshot(
+                        now + int(offset),
+                        lambda e=edition: self._execute_drop(e),
+                        label=self._drop_labels[edition])
 
     def _sample_create(self, now: int, edition: Edition) -> CreateRequest:
         """Draw everything defining one create, in fixed draw order."""

@@ -225,8 +225,9 @@ class BenchmarkRunner:
                     )
                 except AdmissionRejected:
                     pass  # recorded as a creation redirect
-            self.kernel.schedule(start + scripted.at_offset, execute,
-                                 label=f"scripted-create-{scripted.slo_name}")
+            self.kernel.schedule_oneshot(
+                start + scripted.at_offset, execute,
+                label=f"scripted-create-{scripted.slo_name}")
 
     def _assemble_result(self) -> BenchmarkResult:
         now = self.kernel.now

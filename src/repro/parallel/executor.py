@@ -5,10 +5,25 @@ serial loop was used):
 
 * **Picklable specs** — workers receive the declarative
   :class:`~repro.core.scenario.BenchmarkScenario` itself (frozen
-  dataclasses all the way down, including the trained model document),
-  never live simulation objects. Picklability is probed up front; an
-  unpicklable scenario degrades the whole sweep to the serial path
-  instead of failing.
+  dataclasses all the way down), never live simulation objects.
+  Picklability is probed up front; an unpicklable scenario degrades the
+  whole sweep to the serial path instead of failing.
+* **Model documents ship once per worker** — the trained
+  ``model_document`` dominates a pickled scenario's size and is shared
+  by every density variant in a sweep. The pool's *initializer*
+  delivers each distinct document (deduplicated by content fingerprint)
+  to every worker exactly once; per-task payloads carry the stripped
+  scenario plus the fingerprint, and the worker re-attaches its cached
+  document before running. N scenarios over one document pickle the
+  document ``workers`` times, not ``N`` times.
+* **Chunked dispatch** — scenarios are submitted as strided chunks
+  (several per worker, so uneven runtimes still balance) instead of one
+  future each, amortizing submit/result IPC over the chunk.
+* **Warm pool reuse** — the executor keeps its process pool alive
+  across :meth:`SweepExecutor.run` calls and reuses it while the worker
+  count and document set are unchanged, so consecutive sweep batches
+  skip interpreter spawn and document delivery entirely. Call
+  :meth:`shutdown` (or drop the executor) to release the workers.
 * **Deterministic results** — every run seeds its own
   :class:`~repro.rng.RngRegistry` from ``scenario.seed`` inside the
   worker process, exactly as :class:`~repro.core.runner.BenchmarkRunner`
@@ -34,12 +49,14 @@ serial loop was used):
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, \
+    Sequence, Tuple
 
 from repro.core.runner import BenchmarkResult, run_scenario
 from repro.core.scenario import BenchmarkScenario
@@ -57,10 +74,36 @@ class SweepProgress:
 
 ProgressCallback = Callable[[SweepProgress], None]
 
+#: One task as shipped to a worker: (input index, scenario with its
+#: model document stripped, fingerprint of that document or None).
+_Task = Tuple[int, BenchmarkScenario, Optional[str]]
+
+#: Per-worker-process cache of unpickled model documents, populated by
+#: the pool initializer before any task runs.
+_WORKER_DOCS: Dict[str, Any] = {}
+
+
+def _init_worker(doc_blobs: Dict[str, bytes]) -> None:
+    """Pool initializer: unpickle each distinct document exactly once."""
+    _WORKER_DOCS.clear()
+    for key, blob in doc_blobs.items():
+        _WORKER_DOCS[key] = pickle.loads(blob)
+
 
 def _execute(scenario: BenchmarkScenario) -> BenchmarkResult:
     """Worker entry point: one full benchmark run in this process."""
     return run_scenario(scenario)
+
+
+def _execute_chunk(tasks: List[_Task]) -> List[Tuple[int, BenchmarkResult]]:
+    """Worker entry point: run a chunk of document-stripped scenarios."""
+    out: List[Tuple[int, BenchmarkResult]] = []
+    for index, scenario, doc_key in tasks:
+        if doc_key is not None:
+            scenario = replace(scenario,
+                               model_document=_WORKER_DOCS[doc_key])
+        out.append((index, run_scenario(scenario)))
+    return out
 
 
 class SweepExecutor:
@@ -72,6 +115,10 @@ class SweepExecutor:
         progress: optional callback invoked after every completed run.
     """
 
+    #: Target chunks per worker: more than one so uneven scenario
+    #: runtimes rebalance, few enough that submit/result IPC amortizes.
+    CHUNKS_PER_WORKER = 4
+
     def __init__(self, max_workers: Optional[int] = None,
                  progress: Optional[ProgressCallback] = None) -> None:
         if max_workers is not None and max_workers < 1:
@@ -81,6 +128,14 @@ class SweepExecutor:
         #: How the last sweep actually executed ("serial" | "parallel");
         #: lets tests and callers observe fallback decisions.
         self.last_mode: Optional[str] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_doc_keys: FrozenSet[str] = frozenset()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        # getattr: __init__ may have raised before _pool existed.
+        if getattr(self, "_pool", None) is not None:
+            self.shutdown()
 
     # ------------------------------------------------------------------
 
@@ -92,9 +147,20 @@ class SweepExecutor:
             self.last_mode = "serial"
             return []
         workers = self._effective_workers(len(scenarios))
-        if workers <= 1 or not self._picklable(scenarios):
+        if workers <= 1:
             return self._run_serial(scenarios)
-        return self._run_parallel(scenarios, workers)
+        prepared = self._prepare(scenarios)
+        if prepared is None:
+            return self._run_serial(scenarios)
+        return self._run_parallel(scenarios, workers, *prepared)
+
+    def shutdown(self) -> None:
+        """Release the warm worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
+            self._pool_doc_keys = frozenset()
 
     # ------------------------------------------------------------------
 
@@ -105,18 +171,45 @@ class SweepExecutor:
         return min(workers, sweep_size)
 
     @staticmethod
-    def _picklable(scenarios: Sequence[BenchmarkScenario]) -> bool:
-        """Probe the round trip the pool needs; cheap vs one run."""
+    def _prepare(scenarios: Sequence[BenchmarkScenario]
+                 ) -> Optional[Tuple[List[_Task], Dict[str, bytes]]]:
+        """Strip and fingerprint model documents; probe picklability.
+
+        Returns ``(tasks, doc_blobs)`` where each task carries the
+        scenario without its document plus the document's content
+        fingerprint, and ``doc_blobs`` maps fingerprint to the pickled
+        document (deduplicated across the sweep). ``None`` means some
+        payload cannot cross a process boundary — use the serial path.
+        """
+        tasks: List[_Task] = []
+        doc_blobs: Dict[str, bytes] = {}
+        blob_by_id: Dict[int, str] = {}
         try:
-            for scenario in scenarios:
-                pickle.loads(pickle.dumps(scenario,
+            for index, scenario in enumerate(scenarios):
+                document = scenario.model_document
+                if document is None:
+                    key: Optional[str] = None
+                    stripped = scenario
+                else:
+                    # Same object -> same blob without re-pickling.
+                    key = blob_by_id.get(id(document))
+                    if key is None:
+                        blob = pickle.dumps(
+                            document, protocol=pickle.HIGHEST_PROTOCOL)
+                        key = hashlib.sha256(blob).hexdigest()
+                        doc_blobs.setdefault(key, blob)
+                        blob_by_id[id(document)] = key
+                    stripped = replace(scenario, model_document=None)
+                # Probe the stripped scenario's own round trip.
+                pickle.loads(pickle.dumps(stripped,
                                           protocol=pickle.HIGHEST_PROTOCOL))
+                tasks.append((index, stripped, key))
         except (pickle.PickleError, TypeError, AttributeError,
                 NotImplementedError, ValueError, EOFError, RecursionError):
             # Everything pickle raises for an unserializable payload;
             # a probe failure means "use the serial path", never "crash".
-            return False
-        return True
+            return None
+        return tasks, doc_blobs
 
     @staticmethod
     def _normalize(result: BenchmarkResult) -> BenchmarkResult:
@@ -160,34 +253,60 @@ class SweepExecutor:
             self._report(len(results), total, scenario.name, parallel=False)
         return [results[index] for index in range(total)]
 
-    def _run_parallel(self, scenarios: List[BenchmarkScenario],
-                      workers: int) -> List[BenchmarkResult]:
-        total = len(scenarios)
-        results: Dict[int, BenchmarkResult] = {}
+    def _pool_for(self, workers: int, doc_blobs: Dict[str, bytes]
+                  ) -> Optional[ProcessPoolExecutor]:
+        """A warm pool whose workers hold exactly ``doc_blobs``.
+
+        Reuses the previous sweep's pool when the worker count and the
+        document set match; otherwise tears it down and starts fresh
+        (worker caches would be stale). Returns ``None`` when this host
+        cannot run a process pool at all.
+        """
+        keys = frozenset(doc_blobs)
+        if (self._pool is not None and self._pool_workers == workers
+                and self._pool_doc_keys == keys):
+            return self._pool
+        self.shutdown()
         try:
-            executor = ProcessPoolExecutor(max_workers=workers)
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_init_worker,
+                                       initargs=(doc_blobs,))
         except (OSError, ValueError, ImportError):
             # No usable multiprocessing primitives on this host.
+            return None
+        self._pool = pool
+        self._pool_workers = workers
+        self._pool_doc_keys = keys
+        return pool
+
+    def _run_parallel(self, scenarios: List[BenchmarkScenario],
+                      workers: int, tasks: List[_Task],
+                      doc_blobs: Dict[str, bytes]) -> List[BenchmarkResult]:
+        total = len(scenarios)
+        results: Dict[int, BenchmarkResult] = {}
+        pool = self._pool_for(workers, doc_blobs)
+        if pool is None:
             return self._run_serial(scenarios)
+        n_chunks = min(total, workers * self.CHUNKS_PER_WORKER)
+        chunks = [tasks[start::n_chunks] for start in range(n_chunks)]
         try:
-            with executor:
-                futures = {executor.submit(_execute, scenario): index
-                           for index, scenario in enumerate(scenarios)}
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = futures[future]
-                        # Scenario errors propagate exactly as serially.
-                        results[index] = future.result()
+            futures = {pool.submit(_execute_chunk, chunk): chunk
+                       for chunk in chunks}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # Scenario errors propagate exactly as serially.
+                    for index, result in future.result():
+                        results[index] = result
                         self._report(len(results), total,
                                      scenarios[index].name, parallel=True)
         except (pickle.PicklingError, AttributeError, EOFError,
                 BrokenProcessPool):
             # Pool died or a payload failed to cross the boundary:
             # whatever already finished is keyed by index; rerun the
-            # rest in-process.
+            # rest in-process. The pool is no longer trustworthy.
+            self.shutdown()
             return self._run_serial(scenarios, into=results)
         self.last_mode = "parallel"
         return [results[index] for index in range(total)]
@@ -198,5 +317,8 @@ def run_scenarios(scenarios: Sequence[BenchmarkScenario],
                   progress: Optional[ProgressCallback] = None
                   ) -> List[BenchmarkResult]:
     """Convenience wrapper: one-shot sweep with optional parallelism."""
-    return SweepExecutor(max_workers=max_workers,
-                         progress=progress).run(scenarios)
+    executor = SweepExecutor(max_workers=max_workers, progress=progress)
+    try:
+        return executor.run(scenarios)
+    finally:
+        executor.shutdown()

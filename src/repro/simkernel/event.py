@@ -1,31 +1,63 @@
-"""Events and the pending-event queue.
+"""Events and the pending-event queue (bucketed calendar queue).
 
 Events are ordered by ``(time, sequence)``: events scheduled for the same
 instant fire in scheduling order, which keeps runs fully deterministic
 without relying on callback identity.
 
-Hot-path layout: the heap stores plain ``(time, sequence, event)``
-tuples, so every sift comparison is an int-tuple comparison (the unique
-sequence guarantees the :class:`Event` payload is never compared), and
-:class:`Event` uses ``__slots__`` — a six-day benchmark schedules
-hundreds of thousands of events and the per-event dict plus
-dataclass-generated ``__lt__`` dominated the scheduling cost. Labels may
-be passed as zero-argument callables so callers on the scheduling fast
-path can defer string formatting until a trace or error actually needs
-the label.
+Hot-path layout: instead of a single binary heap of ``(time, sequence,
+event)`` tuples, the queue keeps one FIFO *bucket* (a plain list) per
+distinct timestamp plus a small min-heap of the distinct timestamps
+themselves. Scheduling an event at an already-populated timestamp is a
+dict lookup and a list append — no heap sift at all — and the heap only
+ever holds one entry per distinct instant, so its size (and the cost of
+the occasional ``heappush``) is bounded by the number of *distinct*
+pending timestamps rather than the number of pending events. Because a
+bucket is appended in scheduling order, iterating it front-to-back
+replays the exact ``(time, sequence)`` order of the old heap; the kernel
+exploits this to batch-fire a whole same-timestamp bucket per clock
+advance (see :mod:`repro.simkernel.kernel`).
+
+Sizing is counter-based so the push path carries no explicit size
+update: ``_seq`` counts every entry ever pushed (it doubles as the
+sequence source), ``_popped`` counts every entry consumed, and
+``_cancelled`` counts cancelled debris still buried in buckets — so
+``len(queue) == _seq - _popped - _cancelled``.
+
+Cancellation keeps the lazy-debris semantics of the heap design:
+cancelled events stay in their bucket until they surface, and once more
+than half of all queued entries (and at least ``COMPACT_MIN``) are
+cancelled debris, the queue compacts in one linear pass. Compaction is
+deferred while the kernel is mid-batch (``_locked``) because it rewrites
+the bucket lists the kernel iterates; when it runs, it rewrites the
+bucket map and times heap *in place* — the kernel holds references to
+both across a whole run.
+
+Handle-free entries: the kernel's ``schedule_oneshot`` path appends the
+*callback itself* to a bucket instead of an :class:`Event` — most
+schedule sites discard the returned handle, and the Event allocation is
+the single largest cost of scheduling. Queue scans therefore dispatch
+on ``entry.__class__ is Event``; a raw entry is always live (it has no
+cancel handle). :meth:`EventQueue.pop` synthesizes a handle (sequence
+``-1``) when it surfaces a raw entry, so the pop-based API stays
+uniform.
+
+Labels may be passed as zero-argument callables so callers on the
+scheduling fast path can defer string formatting until a trace or error
+actually needs the label.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple, Union
+from heapq import heapify, heappop, heappush
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import SimulationError
 
 Callback = Callable[[], None]
 #: Either the label itself or a zero-argument factory evaluated lazily.
 Label = Union[str, Callable[[], str]]
+#: What a bucket holds: cancellable events or handle-free raw callbacks.
+Entry = Union["Event", Callback]
 
 
 class Event:
@@ -39,17 +71,27 @@ class Event:
             resolved on first access when scheduled lazily.
     """
 
-    __slots__ = ("time", "sequence", "callback", "cancelled",
-                 "_label", "_queue")
+    __slots__ = ("time", "sequence", "callback", "_label", "_queue")
 
     def __init__(self, time: int, sequence: int, callback: Callback,
-                 label: Label = "") -> None:
+                 label: Label = "",
+                 queue: Optional["EventQueue"] = None) -> None:
         self.time = time
         self.sequence = sequence
         self.callback = callback
-        self.cancelled = False
         self._label = label
-        self._queue: Optional["EventQueue"] = None
+        self._queue = queue
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` ran.
+
+        Cancellation is stored as ``callback is None`` rather than in a
+        separate slot: the fire loop has to load ``callback`` anyway,
+        so the cancelled test rides along for free and event creation
+        (the simulator's hottest allocation) saves one slot store.
+        """
+        return self.callback is None
 
     @property
     def label(self) -> str:
@@ -60,9 +102,9 @@ class Event:
         return label
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
-        if not self.cancelled:
-            self.cancelled = True
+        """Mark the event so the kernel skips it when its bucket fires."""
+        if self.callback is not None:
+            self.callback = None
             if self._queue is not None:
                 self._queue._note_cancelled()
 
@@ -73,78 +115,152 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects.
+    """A calendar queue of :class:`Event` objects.
 
-    Cancelled events stay in the heap until they surface at the top —
-    except that once more than half the heap (and at least
-    ``COMPACT_MIN`` entries) is cancelled debris, the queue compacts
-    itself in one linear pass, so long runs with many cancelled timers
-    do not hold dead events or pay for sifting past them.
+    Structure invariants:
+
+    * ``_buckets[t]`` holds every pending entry scheduled at ``t`` in
+      scheduling (= sequence) order; ``_times`` is a min-heap of exactly
+      the keys of ``_buckets``.
+    * ``_front`` is a consumption cursor into the *front* bucket only
+      (``_times[0]``); entries before it have already been popped.
+      Every other bucket is unconsumed.
+    * ``_seq`` is the next sequence number == total entries ever
+      pushed; ``_popped`` counts consumed entries (fired, popped, or
+      skipped as debris); ``_cancelled`` counts cancelled debris still
+      in buckets. ``len(queue) == _seq - _popped - _cancelled``.
+
+    The kernel's batch-fire loop reads these internals directly (they
+    are package-private, not API) and sets ``_locked`` while it iterates
+    a bucket; ``_note_cancelled`` defers compaction until the bucket is
+    released so the iterated list object is never swapped mid-batch.
     """
 
-    __slots__ = ("_heap", "_counter", "_cancelled")
+    __slots__ = ("_buckets", "_times", "_seq", "_popped", "_cancelled",
+                 "_front", "_locked", "_compact_pending")
 
     #: Minimum cancelled-entry count before compaction is considered.
     COMPACT_MIN = 64
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Event]] = []
-        self._counter = itertools.count()
+        self._buckets: Dict[int, List[Entry]] = {}
+        self._times: List[int] = []
+        self._seq = 0
+        self._popped = 0
         self._cancelled = 0
+        self._front = 0
+        self._locked = False
+        self._compact_pending = False
 
     def __len__(self) -> int:
-        return len(self._heap) - self._cancelled
+        return self._seq - self._popped - self._cancelled
 
     def push(self, time: int, callback: Callback, label: Label = "") -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
         if time < 0:
             raise SimulationError(f"cannot schedule at negative time {time}")
         time = int(time)
-        event = Event(time, next(self._counter), callback, label)
-        event._queue = self
-        heapq.heappush(self._heap, (time, event.sequence, event))
+        sequence = self._seq
+        self._seq = sequence + 1
+        event = Event(time, sequence, callback, label, self)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heappush(self._times, time)
+        else:
+            bucket.append(event)
         return event
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or None."""
-        heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)[2]
-            if not event.cancelled:
-                return event
-            self._cancelled -= 1
+        """Remove and return the earliest non-cancelled event, or None.
+
+        A handle-free entry (see module docstring) is wrapped in a
+        synthetic :class:`Event` with sequence ``-1`` so callers see a
+        uniform type; its firing order is still exact.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            i = self._front
+            n = len(bucket)
+            while i < n:
+                entry = bucket[i]
+                i += 1
+                if entry.__class__ is Event:
+                    if entry.callback is None:  # type: ignore[union-attr]
+                        self._cancelled -= 1
+                        self._popped += 1
+                        continue
+                else:
+                    entry = Event(time, -1, entry, "", self)  # type: ignore[arg-type]
+                self._front = i
+                self._popped += 1
+                return entry  # type: ignore[return-value]
+            del buckets[time]
+            heappop(times)
+            self._front = 0
         return None
 
     def pop_before(self, end_time: int) -> Optional[Event]:
         """Pop the earliest live event strictly before ``end_time``.
 
         Returns None when the queue is empty or the earliest live event
-        is at or past ``end_time`` (that event stays queued). This is
-        the kernel's run-loop primitive: one heap traversal instead of a
-        peek followed by a pop.
+        is at or past ``end_time`` (that event stays queued).
         """
-        heap = self._heap
-        while heap:
-            first = heap[0]
-            event = first[2]
-            if event.cancelled:
-                heapq.heappop(heap)
-                self._cancelled -= 1
-                continue
-            if first[0] >= end_time:
-                return None
-            heapq.heappop(heap)
-            return event
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            i = self._front
+            n = len(bucket)
+            while i < n:
+                entry = bucket[i]
+                i += 1
+                if entry.__class__ is Event:
+                    if entry.callback is None:  # type: ignore[union-attr]
+                        self._cancelled -= 1
+                        self._popped += 1
+                        continue
+                    if time >= end_time:
+                        self._front = i - 1
+                        return None
+                else:
+                    if time >= end_time:
+                        self._front = i - 1
+                        return None
+                    entry = Event(time, -1, entry, "", self)  # type: ignore[arg-type]
+                self._front = i
+                self._popped += 1
+                return entry  # type: ignore[return-value]
+            del buckets[time]
+            heappop(times)
+            self._front = 0
         return None
 
     def peek_time(self) -> Optional[int]:
         """Return the timestamp of the earliest pending event, or None."""
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        if heap:
-            return heap[0][0]
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            i = self._front
+            n = len(bucket)
+            while i < n:
+                entry = bucket[i]
+                if entry.__class__ is not Event \
+                        or entry.callback is not None:  # type: ignore[union-attr]
+                    self._front = i
+                    return time
+                i += 1
+                self._cancelled -= 1
+                self._popped += 1
+            del buckets[time]
+            heappop(times)
+            self._front = 0
         return None
 
     # ------------------------------------------------------------------
@@ -153,19 +269,69 @@ class EventQueue:
         """Account one newly cancelled entry; compact when dominated."""
         self._cancelled += 1
         if (self._cancelled >= self.COMPACT_MIN
-                and self._cancelled * 2 > len(self._heap)):
-            self.compact()
+                and self._cancelled * 2 > self._seq - self._popped):
+            if self._locked:
+                # The kernel is mid-batch iterating a bucket; rewriting
+                # the bucket lists now would invalidate its iterator.
+                self._compact_pending = True
+            else:
+                self.compact()
 
     def compact(self) -> None:
-        """Drop all cancelled entries and re-heapify (linear time)."""
+        """Drop all cancelled entries and rebuild (linear time).
+
+        Rebuilds *in place*: the kernel's run loop binds the bucket map
+        and the times heap once per run, so compaction must never swap
+        the container objects out from under it.
+        """
+        if self._locked:
+            self._compact_pending = True
+            return
         if self._cancelled == 0:
             return
-        self._heap = [entry for entry in self._heap
-                      if not entry[2].cancelled]
-        heapq.heapify(self._heap)
+        buckets = self._buckets
+        times = self._times
+        front_time = times[0] if times else None
+        size = 0
+        emptied = []
+        for time, entries in buckets.items():
+            if time == front_time and self._front:
+                entries_view: List[Event] = entries[self._front:]
+            else:
+                entries_view = entries
+            live = [entry for entry in entries_view
+                    if entry.__class__ is not Event
+                    or entry.callback is not None]  # type: ignore[union-attr]
+            if live:
+                entries[:] = live
+                size += len(live)
+            else:
+                emptied.append(time)
+        for time in emptied:
+            del buckets[time]
+        times[:] = buckets
+        heapify(times)
+        self._popped = self._seq - size
         self._cancelled = 0
+        self._front = 0
+
+    def _release(self) -> None:
+        """Run the compaction deferred while the kernel held a batch.
+
+        The kernel clears ``_locked`` itself on the fast path; this is
+        only called when ``_compact_pending`` was set mid-batch.
+        """
+        self._compact_pending = False
+        if (self._cancelled >= self.COMPACT_MIN
+                and self._cancelled * 2 > self._seq - self._popped):
+            self.compact()
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled entries still buried in the heap (for tests)."""
+        """Cancelled entries still buried in the queue (for tests)."""
         return self._cancelled
+
+    @property
+    def entries_pending(self) -> int:
+        """All queued entries including cancelled debris (for tests)."""
+        return self._seq - self._popped

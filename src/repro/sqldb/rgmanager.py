@@ -24,7 +24,7 @@ Persistence semantics (§3.3.2) are implemented exactly as described:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.errors import NamingUnavailableError
 from repro.fabric.metrics import CPU_USED_CORES, DISK_GB, MEMORY_GB
 from repro.fabric.naming import NamingService
 from repro.fabric.replica import Replica
-from repro.rng import RngRegistry
+from repro.rng import BatchedStream, RngRegistry
 from repro.sqldb.database import DatabaseInstance
 from repro.sqldb.governance import CpuGovernor
 
@@ -132,12 +132,18 @@ class RgManager:
     # ------------------------------------------------------------------
 
     def get_metric_loads(self, replica: Replica, database: DatabaseInstance,
-                         now: int, interval_seconds: int) -> Dict[str, float]:
+                         now: int, interval_seconds: int,
+                         observe_cpu: bool = True) -> Dict[str, float]:
         """Answer the replica's metric-report RPC.
 
         Returns the loads the replica should report to the PLB for
         every dynamic metric: model-driven where a model applies,
         otherwise the replica's actual (last reported) load.
+
+        ``observe_cpu=False`` skips the advisory CPU-usage sampling;
+        the caller then owes a :meth:`observe_cpu_usage_batch` for this
+        replica before governance runs (the report sweep batches all of
+        a node's CPU draws into one vectorized call).
         """
         self.rpcs_served += 1
         loads: Dict[str, float] = {}
@@ -152,8 +158,59 @@ class RgManager:
             else:
                 loads[metric] = self._memory_value(
                     model, replica, database, now, interval_seconds, metric)
-        self._observe_cpu_usage(replica, database, now, interval_seconds)
+        if observe_cpu:
+            self._observe_cpu_usage(replica, database, now, interval_seconds)
         return loads
+
+    def observe_cpu_usage_batch(
+            self, entries: Sequence[Tuple[Replica, DatabaseInstance]],
+            now: int, interval_seconds: int) -> None:
+        """Vectorized advisory CPU sampling for one sweep (§3.2).
+
+        ``entries`` is every (replica, database) that reported from this
+        node this sweep, in report order. All replicas draw from the
+        same per-node CPU substream, so the whole sweep's utilization
+        draws collapse into one masked array-parameter normal call —
+        draw-for-draw identical to the scalar per-RPC path because the
+        per-entry (mu, sigma) sequence and the stream order are both
+        preserved. Models without the batched interface (anything but
+        :class:`~repro.core.cpu_model.CpuUsageModel`) fall back to the
+        scalar path in place, keeping the stream sequence exact.
+        """
+        if self.model_set is None:
+            return
+        batchable: List[Tuple[Replica, DatabaseInstance, object]] = []
+        mus: List[float] = []
+        sigmas: List[float] = []
+
+        def flush() -> None:
+            if not batchable:
+                return
+            draws = BatchedStream(self._stream(CPU_USED_CORES)).normals(
+                mus, sigmas)
+            for (replica, database, model), draw in zip(batchable, draws):
+                value = model.value_from_utilization(
+                    float(draw), replica.is_primary, database)
+                self._memory[(replica.replica_id, CPU_USED_CORES)] = value
+                self._cpu_usage_raw[replica.replica_id] = value
+            batchable.clear()
+            mus.clear()
+            sigmas.clear()
+
+        for replica, database in entries:
+            model = self.model_set.find(CPU_USED_CORES, database)
+            if model is None:
+                continue
+            if hasattr(model, "utilization_params"):
+                mu, sigma = model.utilization_params(now)
+                batchable.append((replica, database, model))
+                mus.append(mu)
+                sigmas.append(sigma)
+            else:
+                flush()
+                self._observe_cpu_usage(replica, database, now,
+                                        interval_seconds)
+        flush()
 
     def _observe_cpu_usage(self, replica: Replica,
                            database: DatabaseInstance, now: int,

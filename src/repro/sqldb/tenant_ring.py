@@ -10,12 +10,13 @@ the telemetry outliers the paper notes in Figure 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ScenarioError
 from repro.fabric.cluster import ServiceFabricCluster
 from repro.fabric.failover import FailoverRecord
 from repro.fabric.metrics import GEN5_NODE, NodeCapacities
+from repro.fabric.replica import Replica
 from repro.rng import RngRegistry
 from repro.simkernel import PeriodicProcess, SimulationKernel
 from repro.sqldb.control_plane import ControlPlane
@@ -131,6 +132,13 @@ class TenantRing:
         any disk-capacity violations (failovers).
         """
         interval = self.config.report_interval
+        # Advisory CPU draws are deferred and batched per node: every
+        # replica on a node shares one CPU substream, so collecting the
+        # sweep's reporters first lets RgManager make a single
+        # vectorized draw per node instead of one scalar numpy call per
+        # replica. Per-node report order is preserved, so the draw
+        # sequence (and thus the run) is byte-identical.
+        cpu_entries: Dict[int, List[Tuple[Replica, DatabaseInstance]]] = {}
         for record in self.cluster.services():
             database = self.control_plane.database(record.service_id)
             # Primary reports first so persisted metrics are fresh when
@@ -148,8 +156,13 @@ class TenantRing:
                     continue  # metric-report RPC lost to injected fault
                 rgmanager = self.rgmanagers[replica.node_id]
                 loads = rgmanager.get_metric_loads(
-                    replica, database, now, interval)
+                    replica, database, now, interval, observe_cpu=False)
                 self.cluster.report_load(replica, loads)
+                cpu_entries.setdefault(replica.node_id, []).append(
+                    (replica, database))
+        for node_id, entries in cpu_entries.items():
+            self.rgmanagers[node_id].observe_cpu_usage_batch(
+                entries, now, interval)
         self.cluster.sweep_violations(now)
         for rgmanager in self.rgmanagers:
             rgmanager.apply_cpu_governance(interval)
@@ -167,7 +180,7 @@ class TenantRing:
         node = candidates[int(rng.integers(len(candidates)))]
         node.in_maintenance = True
         duration = int(self.config.maintenance_duration_hours * HOUR)
-        self.kernel.schedule_after(
+        self.kernel.schedule_oneshot_after(
             duration, lambda: setattr(node, "in_maintenance", False),
             label=f"maintenance-end-node-{node.node_id}")
 

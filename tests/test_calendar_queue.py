@@ -1,0 +1,175 @@
+"""Calendar-queue regression and order-equivalence tests.
+
+The bucketed calendar queue (repro.simkernel.event) replaced the
+binary heap; these tests pin down the two properties the swap must
+preserve:
+
+* sizing stays exact through interleaved cancellation and
+  debris-compaction cycles (the counters are maintained inline on the
+  hot paths, so an off-by-one would drift silently);
+* events fire in exactly the old heap's ``(time, sequence)`` order,
+  including handle-free one-shot entries, pre-run cancellations, and
+  callbacks that schedule more work mid-run — checked against a plain
+  ``heapq`` reference model under hypothesis-generated workloads.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import SimulationKernel
+from repro.simkernel.event import EventQueue
+
+
+class TestPendingAccountingUnderCancelCompaction:
+    """`len(queue)` / `pending_events` through cancel + compact cycles."""
+
+    def test_queue_len_through_interleaved_cancel_and_compaction(self):
+        queue = EventQueue()
+        handles = {}
+        for i in range(300):
+            handles[i] = queue.push(i % 10, lambda: None, label=f"e{i}")
+        live = set(handles)
+        assert len(queue) == 300
+        assert queue.entries_pending == 300
+        assert queue.cancelled_pending == 0
+
+        for cycle in range(4):
+            # Cancel a stride of the surviving handles; once debris
+            # crosses COMPACT_MIN and outnumbers live entries the
+            # queue compacts behind our back — accounting must not
+            # notice either way.
+            victims = sorted(live)[::3]
+            for i in victims:
+                handles[i].cancel()
+                live.discard(i)
+            assert len(queue) == len(live)
+            assert (queue.entries_pending - queue.cancelled_pending
+                    == len(queue))
+
+            # Pop a few live events; pop() skips debris and must keep
+            # all three counters consistent while doing so.
+            for _ in range(15):
+                event = queue.pop()
+                if event is None:
+                    break
+                assert event.callback is not None
+                live.discard(event.sequence)
+            assert len(queue) == len(live)
+
+        # Explicit compaction with the front cursor mid-bucket: all
+        # debris drains, live count is untouched.
+        queue.compact()
+        assert queue.cancelled_pending == 0
+        assert queue.entries_pending == len(queue) == len(live)
+        drained = 0
+        while queue.pop() is not None:
+            drained += 1
+        assert drained == len(live)
+        assert len(queue) == 0
+
+    def test_compaction_triggers_and_resets_debris(self):
+        queue = EventQueue()
+        handles = [queue.push(5, lambda: None) for _ in range(200)]
+        # Cancel past the trigger: >= COMPACT_MIN debris and more
+        # debris than live entries forces an automatic compaction
+        # partway through the storm.
+        for handle in handles[:120]:
+            handle.cancel()
+        assert queue.cancelled_pending < 120  # auto-compacted en route
+        assert len(queue) == 80
+        assert queue.entries_pending - queue.cancelled_pending == 80
+
+    def test_kernel_pending_events_with_oneshots_and_cancels(self):
+        kernel = SimulationKernel()
+        fired = []
+        cancels = []
+        for i in range(100):
+            at = 10 + (i % 7)
+            if i % 2:
+                kernel.schedule_oneshot(at, lambda i=i: fired.append(i))
+            else:
+                handle = kernel.schedule(at, lambda i=i: fired.append(i))
+                if i % 4 == 0:
+                    cancels.append(handle)
+        assert kernel.pending_events == 100
+        for handle in cancels:
+            handle.cancel()
+        assert kernel.pending_events == 100 - len(cancels)
+        kernel.run_until(13)  # partial drain, cursor lands mid-stream
+        kernel.run_until(100)
+        assert kernel.pending_events == 0
+        assert len(fired) == 100 - len(cancels)
+
+
+# One workload item: (time, is_oneshot, cancel_before_run, child_delta).
+# Oneshots have no handle, so cancellation only applies to events;
+# child_delta schedules a follow-up from inside the callback (delta 0
+# joins the currently firing batch).
+OPS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.booleans(),
+              st.booleans(),
+              st.one_of(st.none(), st.integers(min_value=0, max_value=8))),
+    min_size=1, max_size=60)
+
+
+def reference_firing_order(ops):
+    """The old binary heap's firing order, simulated with heapq."""
+    heap = []
+    seq = 0
+    for i, (time, _oneshot, _cancel, _child) in enumerate(ops):
+        heapq.heappush(heap, (time, seq, ("op", i)))
+        seq += 1
+    fired = []
+    while heap:
+        time, _, tag = heapq.heappop(heap)
+        if tag[0] == "op":
+            i = tag[1]
+            _, is_oneshot, cancelled, child = ops[i]
+            if cancelled and not is_oneshot:
+                continue
+            fired.append(tag)
+            if child is not None:
+                heapq.heappush(heap, (time + child, seq, ("child", i)))
+                seq += 1
+        else:
+            fired.append(tag)
+    return fired
+
+
+class TestCalendarQueueOrderEquivalence:
+    @given(ops=OPS, split=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=120, deadline=None)
+    def test_fires_in_exact_heap_order(self, ops, split):
+        """Calendar queue == reference heap, to the event."""
+        kernel = SimulationKernel()
+        fired = []
+        handles = {}
+
+        def make_callback(i, child):
+            def callback():
+                fired.append(("op", i))
+                if child is not None:
+                    kernel.schedule_oneshot(
+                        kernel.now + child,
+                        lambda: fired.append(("child", i)))
+            return callback
+
+        for i, (time, is_oneshot, _cancel, child) in enumerate(ops):
+            callback = make_callback(i, child)
+            if is_oneshot:
+                kernel.schedule_oneshot(time, callback, label=f"op{i}")
+            else:
+                handles[i] = kernel.schedule(time, callback, label=f"op{i}")
+        for i, (_, is_oneshot, cancelled, _) in enumerate(ops):
+            if cancelled and not is_oneshot:
+                handles[i].cancel()
+
+        # Split the run so the bucket cursor survives a pause.
+        kernel.run_until(split)
+        kernel.run_until(64)
+
+        assert fired == reference_firing_order(ops)
+        assert kernel.pending_events == 0

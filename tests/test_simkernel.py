@@ -125,7 +125,7 @@ class TestEventQueueCompaction:
         # Compaction ran (possibly several times): debris stays bounded
         # under the threshold instead of accumulating all 200 entries.
         assert queue.cancelled_pending < EventQueue.COMPACT_MIN
-        assert len(queue._heap) < len(keep) + EventQueue.COMPACT_MIN
+        assert queue.entries_pending < len(keep) + EventQueue.COMPACT_MIN
         assert len(queue) == len(keep)
         # And the survivors still pop in order.
         assert [queue.pop().time for _ in range(3)] == [0, 1, 2]
