@@ -27,7 +27,7 @@ from repro.analysis.engine import lint_paths  # noqa: E402
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
-def bench_lint(repeats: int = 3) -> dict:
+def _bench_rules(repeats: int, rules=None) -> dict:
     """Time cold (no cache reuse) and cached full-tree analysis."""
     with tempfile.TemporaryDirectory(prefix="bench-lint-") as tmp:
         cache = pathlib.Path(tmp) / "cache.json"
@@ -36,14 +36,14 @@ def bench_lint(repeats: int = 3) -> dict:
         for _ in range(repeats):
             cache.unlink(missing_ok=True)
             start = time.perf_counter()
-            report = lint_paths([SRC], cache_path=cache)
+            report = lint_paths([SRC], rules=rules, cache_path=cache)
             cold_seconds.append(time.perf_counter() - start)
             assert report.cache_misses > 0
 
         cached_seconds = []
         for _ in range(repeats):
             start = time.perf_counter()
-            report = lint_paths([SRC], cache_path=cache)
+            report = lint_paths([SRC], rules=rules, cache_path=cache)
             cached_seconds.append(time.perf_counter() - start)
             assert report.cache_misses == 0, "cache did not take"
 
@@ -57,6 +57,24 @@ def bench_lint(repeats: int = 3) -> dict:
             "cached_seconds": round(cached, 3),
             "cache_speedup": round(cold / cached, 2),
         }
+
+
+def bench_lint(repeats: int = 3) -> dict:
+    """Full-catalogue analysis, cold vs. cached."""
+    return _bench_rules(repeats)
+
+
+def bench_totoperf(repeats: int = 3) -> dict:
+    """The performance tier (TL020..TL024) alone, cold vs. cached.
+
+    The perf rules lean on the same program graph as the determinism
+    tier, so their cached runs should be near-free; this row keeps the
+    marginal cost of the tier visible in BENCH_perf.json.
+    """
+    from repro.analysis.perf_rules import PERF_TIER
+    from repro.analysis.rules import get_rules
+
+    return _bench_rules(repeats, rules=get_rules(PERF_TIER))
 
 
 def main() -> int:

@@ -5,8 +5,12 @@ Usage::
     PYTHONPATH=src python benchmarks/emit_bench.py            # full
     PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/emit_bench.py --quick --check
-        # regression gate: re-measure the kernel and fail (exit 1) on a
-        # >20% drop against the committed BENCH_perf.json; writes nothing
+        # regression gates vs the committed BENCH_perf.json; writes
+        # nothing.  Fails (exit 1) when the committed sweep record says
+        # parallel != serial, when re-measured kernel throughput drops
+        # >20% (skipped with a warning if the committed record came
+        # from a machine with a different core count), or when one
+        # re-measured cold lint takes >50% longer than committed
 
 Records three headline numbers so future PRs can compare against the
 current state instead of guessing:
@@ -45,7 +49,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.bench_lint import bench_lint  # noqa: E402
+from benchmarks.bench_lint import bench_lint, bench_totoperf  # noqa: E402
 from benchmarks.bench_perf_kernel import pump_kernel  # noqa: E402
 from repro import __version__  # noqa: E402
 from repro.core.runner import run_scenario  # noqa: E402
@@ -57,6 +61,11 @@ OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 #: --check fails when the re-measured kernel throughput drops more than
 #: this fraction below the committed number.
 REGRESSION_TOLERANCE = 0.20
+#: --check fails when a re-measured cold lint takes more than this
+#: fraction longer than the committed number (the analyzer is pure
+#: CPU-bound AST walking, so a 1.5x blowup is a real regression, not
+#: machine noise).
+LINT_REGRESSION_TOLERANCE = 0.50
 #: Passes for the best-of-N kernel measurement.
 KERNEL_PASSES = 3
 
@@ -84,6 +93,63 @@ def check_kernel_regression(measured: float, out_path: str) -> int:
     print(f"kernel events/sec: measured {measured:,.0f} vs committed "
           f"{committed:,.0f} (floor {floor:,.0f}) -> {verdict}")
     return 0 if measured >= floor else 1
+
+
+def run_checks(out_path: str, kernel_events: int) -> int:
+    """The ``--check`` regression gates against the committed record.
+
+    Three gates, all reported before the combined verdict:
+
+    * **sweep** — the committed record itself must say the parallel
+      sweep reproduced the serial results (``results_identical``);
+    * **kernel** — re-measure and compare throughput, skipped with a
+      warning when the committed record was taken on a machine with a
+      different core count (throughput is not comparable across them);
+    * **lint** — re-measure one cold whole-program analysis and fail
+      when it regressed more than ``LINT_REGRESSION_TOLERANCE``.
+    """
+    path = pathlib.Path(out_path)
+    if not path.exists():
+        print(f"no committed {path.name}; nothing to compare against")
+        return 0
+    committed = json.loads(path.read_text())
+    failures = 0
+
+    if committed.get("sweep", {}).get("results_identical") is False:
+        print("sweep: committed record shows parallel != serial results "
+              "-> FAIL (the sweep must reproduce the serial run "
+              "byte for byte before its numbers mean anything)")
+        failures += 1
+    else:
+        print("sweep: committed results_identical -> OK")
+
+    committed_cpus = committed.get("machine", {}).get("cpu_count")
+    current_cpus = os.cpu_count()
+    if committed_cpus != current_cpus:
+        print(f"kernel gate SKIPPED: committed record measured on "
+              f"{committed_cpus} cpu(s), this machine has {current_cpus}; "
+              "throughput is not comparable across machines")
+    else:
+        print("kernel microbenchmark ...", flush=True)
+        kernel = bench_kernel(kernel_events)
+        failures += check_kernel_regression(kernel["events_per_sec"],
+                                            out_path)
+
+    committed_cold = committed.get("lint", {}).get("cold_seconds")
+    if committed_cold:
+        print("cold lint ...", flush=True)
+        measured_cold = bench_lint(repeats=1)["cold_seconds"]
+        ceiling = committed_cold * (1.0 + LINT_REGRESSION_TOLERANCE)
+        verdict = "OK" if measured_cold <= ceiling else "REGRESSION"
+        print(f"lint cold seconds: measured {measured_cold} vs committed "
+              f"{committed_cold} (ceiling {ceiling:.3f}) -> {verdict}")
+        if measured_cold > ceiling:
+            failures += 1
+    else:
+        print("lint gate skipped: committed record has no "
+              "lint.cold_seconds")
+
+    return 1 if failures else 0
 
 
 def bench_single_run(days: float, seed: int = 42) -> dict:
@@ -160,13 +226,13 @@ def main(argv=None) -> int:
         kernel_events, run_days, sweep_days, seeds = (
             400_000, 6.0, 0.5, (42, 43, 44))
 
+    if args.check:
+        return run_checks(args.out, kernel_events)
+
     print("kernel microbenchmark ...", flush=True)
     kernel = bench_kernel(kernel_events)
     print(f"  {kernel['events_per_sec']:,.0f} events/sec "
           f"(best of {kernel['passes']})")
-
-    if args.check:
-        return check_kernel_regression(kernel["events_per_sec"], args.out)
 
     print(f"single {run_days:g}-day run ...", flush=True)
     single = bench_single_run(run_days)
@@ -186,6 +252,11 @@ def main(argv=None) -> int:
     print(f"  cold {lint['cold_seconds']}s, cached "
           f"{lint['cached_seconds']}s -> {lint['cache_speedup']}x")
 
+    print("perf tier (TL020..TL024), cold vs cached ...", flush=True)
+    totoperf = bench_totoperf(repeats=1 if args.quick else 3)
+    print(f"  cold {totoperf['cold_seconds']}s, cached "
+          f"{totoperf['cached_seconds']}s -> {totoperf['cache_speedup']}x")
+
     payload = {
         "version": __version__,
         "quick": args.quick,
@@ -198,6 +269,7 @@ def main(argv=None) -> int:
         "single_run": single,
         "sweep": sweep,
         "lint": lint,
+        "totoperf": totoperf,
     }
     pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -17,7 +17,11 @@ that determinism contract from both sides:
 * **At runtime** — the DetSan sanitizer (:mod:`.detsan`) replays a
   scenario twice, fingerprints every RNG draw and event scheduling,
   and cross-checks each observed stream acquisition against the static
-  registry (``repro run --detsan``).
+  registry (``repro run --detsan``).  The PerfSan sanitizer
+  (:mod:`.perfsan`) meters per-call allocation in the inferred hot set
+  with :mod:`tracemalloc` and fails when a statically allocation-free
+  function allocates — or when no inferred-hot function fires at all
+  (``repro run --perfsan``).
 
 Entry points:
 
@@ -43,23 +47,31 @@ from repro.analysis.engine import (
     lint_source,
 )
 from repro.analysis.graph import DrawSite, ProgramGraph
+from repro.analysis.perfsan import (
+    AllocationMismatch,
+    PerfSanReport,
+    verify_perf_run,
+)
 from repro.analysis.registry import RegistryEntry, SubstreamRegistry
 from repro.analysis.report import format_json, format_text
 from repro.analysis.rules import Rule, all_rules, get_rules
 from repro.analysis.sarif import format_sarif
 
 __all__ = [
+    "AllocationMismatch",
     "Baseline",
     "BaselineResult",
     "DrawSite",
     "LintReport",
     "ModuleContext",
+    "PerfSanReport",
     "ProgramGraph",
     "RegistryEntry",
     "Rule",
     "SubstreamRegistry",
     "Violation",
     "all_rules",
+    "verify_perf_run",
     "format_json",
     "format_sarif",
     "format_text",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.analysis.engine import LintEngineError, Violation
@@ -30,8 +31,22 @@ BASELINE_VERSION = 1
 _Key = Tuple[str, str, str]
 
 
+def _portable(path: str) -> str:
+    """``path`` relative to the working directory, in posix form.
+
+    Baselines are committed and applied from different checkouts, so
+    absolute paths must not leak into the ledger; paths outside the
+    working directory are kept as given.
+    """
+    candidate = Path(path)
+    try:
+        return candidate.resolve().relative_to(Path.cwd()).as_posix()
+    except (ValueError, OSError):
+        return candidate.as_posix()
+
+
 def _key(violation: Violation) -> _Key:
-    return (violation.rule, violation.path, violation.message)
+    return (violation.rule, _portable(violation.path), violation.message)
 
 
 @dataclass
@@ -77,7 +92,7 @@ class Baseline:
         counts: Dict[_Key, int] = {}
         for entry in payload["entries"]:
             try:
-                key = (str(entry["rule"]), str(entry["path"]),
+                key = (str(entry["rule"]), _portable(str(entry["path"])),
                        str(entry["message"]))
                 counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
             except (TypeError, KeyError) as exc:

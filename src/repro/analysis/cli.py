@@ -53,6 +53,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--rules", default=None, metavar="TL001,TL002",
         help="comma-separated rule subset (default: all rules)")
     parser.add_argument(
+        "--select", default=None, metavar="TL020,TL021",
+        help="comma-separated rule subset to run (alias of --rules; "
+             "CI uses it to split the determinism and perf tiers)")
+    parser.add_argument(
+        "--ignore", default=None, metavar="TL024",
+        help="comma-separated rules to drop from the selection")
+    parser.add_argument(
         "--baseline", default=None, type=Path, metavar="FILE",
         help="ratchet file of accepted findings; matching violations "
              "are suppressed, stale entries fail the run")
@@ -72,6 +79,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the rule catalogue and exit 0")
 
 
+def _resolve_rules(rules: Optional[str], select: Optional[str],
+                   ignore: Optional[str]):
+    """``(--select or --rules or all) minus --ignore``, validated.
+
+    Unknown codes in any of the three raise :class:`LintEngineError`
+    (exit 2) rather than silently linting with a different rule set.
+    """
+    codes = select if select is not None else rules
+    selected = get_rules(codes.split(",")) if codes else None
+    if not ignore:
+        return selected
+    dropped = {rule.code for rule in get_rules(ignore.split(","))}
+    pool = selected if selected is not None else all_rules()
+    return tuple(rule for rule in pool if rule.code not in dropped)
+
+
 def run_lint(paths: Sequence[Path], output_format: str = "text",
              rules: Optional[str] = None, list_rules: bool = False,
              sarif: bool = False,
@@ -79,6 +102,8 @@ def run_lint(paths: Sequence[Path], output_format: str = "text",
              write_baseline: Optional[Path] = None,
              cache: Optional[Path] = None,
              no_program: bool = False,
+             select: Optional[str] = None,
+             ignore: Optional[str] = None,
              stdout: Optional[TextIO] = None,
              stderr: Optional[TextIO] = None) -> int:
     """Execute one lint run; returns the stable exit code."""
@@ -93,7 +118,7 @@ def run_lint(paths: Sequence[Path], output_format: str = "text",
             print(f"{rule.code}  {rule.title}  [{kind}]", file=out)
         return EXIT_CLEAN
     try:
-        selected = get_rules(rules.split(",")) if rules else None
+        selected = _resolve_rules(rules, select, ignore)
         report = lint_paths(list(paths) or [default_target()],
                             rules=selected,
                             build_program=not no_program,
@@ -150,7 +175,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     rules=args.rules, list_rules=args.list_rules,
                     sarif=args.sarif, baseline=args.baseline,
                     write_baseline=args.write_baseline,
-                    cache=args.cache, no_program=args.no_program)
+                    cache=args.cache, no_program=args.no_program,
+                    select=args.select, ignore=args.ignore)
 
 
 if __name__ == "__main__":

@@ -42,7 +42,7 @@ from repro.analysis.engine import (
 )
 
 #: Bump when the extract shape changes; stale caches are discarded.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Methods that draw from (or derive seeds off) an RNG registry.
 #: ``batched`` is the vectorized façade — it acquires the same named
@@ -75,6 +75,23 @@ CHAOS_GATES = frozenset({
 #: pattern for a draw site whose tokens are not all literal.
 _SUBSTREAM_ANNOTATION = re.compile(
     r"#\s*totolint:\s*substream=([\w\-*?/\[\]!]+)")
+
+#: ``# totolint: fleet-scale`` — marks the collection assigned on that
+#: line as growing with the fleet (databases, replicas, telemetry
+#: records); TL022 flags full rescans of it on per-event paths.
+_FLEET_ANNOTATION = re.compile(r"#\s*totolint:\s*fleet-scale\b")
+
+#: Method names that mutate the receiver in place (TL023 input).
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "remove",
+    "discard", "pop", "popitem", "setdefault", "appendleft", "sort",
+})
+
+#: Constructors whose result is mutable shared state when bound at
+#: module level (mirrors TL005's list).
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                            "defaultdict", "deque", "Counter",
+                            "OrderedDict"})
 
 
 @dataclass(frozen=True)
@@ -132,6 +149,10 @@ class FunctionNode:
     #: Terminal names handed to schedule()/PeriodicProcess()/listener
     #: registrations — these are hot *roots*.
     callbacks: Tuple[str, ...]
+    #: Bare module-level names this function mutates in place
+    #: (subscript stores, mutator-method calls, `global` rebinding);
+    #: names the function also binds locally are filtered out.
+    mutations: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -144,6 +165,17 @@ class ModuleExtract:
     draws: List[DrawSite] = field(default_factory=list)
     #: Lines reading ``.root_seed`` (TL011 input).
     root_seed_reads: List[int] = field(default_factory=list)
+    #: Names annotated ``# totolint: fleet-scale`` at assignment.
+    fleet_scale: List[str] = field(default_factory=list)
+    #: Module-level names bound to mutable containers.
+    module_mutables: List[str] = field(default_factory=list)
+    #: Terminal names submitted to a worker pool (``pool.submit(f, ...)``).
+    worker_roots: List[str] = field(default_factory=list)
+    #: Terminal names passed as ``initializer=`` — the sanctioned
+    #: worker-state delivery path, exempt from TL023's mutation check.
+    worker_inits: List[str] = field(default_factory=list)
+    #: Lines where a lambda/closure is submitted to a pool directly.
+    worker_lambdas: List[int] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -151,24 +183,30 @@ class ModuleExtract:
             "module": self.module,
             "functions": [
                 [f.qualname, f.name, f.start, f.end,
-                 list(f.calls), list(f.refs), list(f.callbacks)]
+                 list(f.calls), list(f.refs), list(f.callbacks),
+                 list(f.mutations)]
                 for f in self.functions],
             "draws": [
                 [d.line, d.end_line, d.col, d.method, list(d.tokens),
                  d.func, d.annotation]
                 for d in self.draws],
             "root_seed_reads": list(self.root_seed_reads),
+            "fleet_scale": list(self.fleet_scale),
+            "module_mutables": list(self.module_mutables),
+            "worker_roots": list(self.worker_roots),
+            "worker_inits": list(self.worker_inits),
+            "worker_lambdas": list(self.worker_lambdas),
         }
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "ModuleExtract":
         extract = cls(path=str(data["path"]), module=str(data["module"]))
-        for qualname, name, start, end, calls, refs, callbacks \
-                in data["functions"]:  # type: ignore[union-attr]
+        for qualname, name, start, end, calls, refs, callbacks, \
+                mutations in data["functions"]:  # type: ignore[union-attr]
             extract.functions.append(FunctionNode(
                 qualname=qualname, name=name, start=start, end=end,
                 calls=tuple(calls), refs=tuple(refs),
-                callbacks=tuple(callbacks)))
+                callbacks=tuple(callbacks), mutations=tuple(mutations)))
         for line, end_line, col, method, tokens, func, annotation \
                 in data["draws"]:  # type: ignore[union-attr]
             extract.draws.append(DrawSite(
@@ -176,6 +214,11 @@ class ModuleExtract:
                 end_line=end_line, col=col, method=method,
                 tokens=tuple(tokens), func=func, annotation=annotation))
         extract.root_seed_reads = list(data["root_seed_reads"])  # type: ignore[arg-type]
+        extract.fleet_scale = list(data["fleet_scale"])  # type: ignore[arg-type]
+        extract.module_mutables = list(data["module_mutables"])  # type: ignore[arg-type]
+        extract.worker_roots = list(data["worker_roots"])  # type: ignore[arg-type]
+        extract.worker_inits = list(data["worker_inits"])  # type: ignore[arg-type]
+        extract.worker_lambdas = list(data["worker_lambdas"])  # type: ignore[arg-type]
         return extract
 
 
@@ -188,47 +231,91 @@ def _terminal(node: ast.expr) -> Optional[str]:
     return None
 
 
+def _is_mutable_value(node: ast.expr) -> bool:
+    """Whether an assigned value is a mutable container construct."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _terminal(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class _Scope:
+    """One lexical scope being extracted (module, class, or function)."""
+
+    __slots__ = ("prefix", "calls", "refs", "callbacks", "mutations",
+                 "binds", "globals")
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.calls: List[str] = []
+        self.refs: List[str] = []
+        self.callbacks: List[str] = []
+        self.mutations: List[str] = []
+        #: Names bound locally (params, assignments, loop targets):
+        #: in-place mutation of these is not module-state mutation.
+        self.binds: Set[str] = set()
+        #: Names declared ``global`` — rebinding them *is* mutation.
+        self.globals: Set[str] = set()
+
+
 class _ModuleVisitor(ast.NodeVisitor):
     """Single-pass extractor: functions, edges, draw sites."""
 
     def __init__(self, extract: ModuleExtract, source: str) -> None:
         self.extract = extract
         self.lines = source.splitlines()
-        #: Stack of (qualname-prefix, calls, refs, callbacks) scopes.
-        self._scopes: List[Tuple[str, List[str], List[str], List[str]]] = []
+        self._fleet_lines = {
+            number for number, line in enumerate(self.lines, start=1)
+            if _FLEET_ANNOTATION.search(line)}
+        self._scopes: List[_Scope] = []
 
     # -- scope helpers --------------------------------------------------
 
     def _enter(self, name: str) -> None:
-        outer = self._scopes[-1][0] if self._scopes else ""
+        outer = self._scopes[-1].prefix if self._scopes else ""
         prefix = outer + "." + name if outer else name
-        self._scopes.append((prefix, [], [], []))
+        self._scopes.append(_Scope(prefix))
 
     def _exit(self, node: ast.AST, is_function: bool) -> None:
-        prefix, calls, refs, callbacks = self._scopes.pop()
+        scope = self._scopes.pop()
         if is_function:
+            mutations = [name for name in scope.mutations
+                         if name not in scope.binds
+                         or name in scope.globals]
+            mutations.extend(name for name in sorted(scope.globals)
+                             if name in scope.binds)
             self.extract.functions.append(FunctionNode(
-                qualname=prefix, name=prefix.rsplit(".", 1)[-1],
+                qualname=scope.prefix,
+                name=scope.prefix.rsplit(".", 1)[-1],
                 start=node.lineno,
                 end=getattr(node, "end_lineno", node.lineno),
-                calls=tuple(calls), refs=tuple(refs),
-                callbacks=tuple(callbacks)))
+                calls=tuple(scope.calls), refs=tuple(scope.refs),
+                callbacks=tuple(scope.callbacks),
+                mutations=tuple(dict.fromkeys(mutations))))
         elif self._scopes:
             # Class scope: fold leftovers into the enclosing scope so
             # class-body calls still produce edges.
             outer = self._scopes[-1]
-            outer[1].extend(calls)
-            outer[2].extend(refs)
-            outer[3].extend(callbacks)
+            outer.calls.extend(scope.calls)
+            outer.refs.extend(scope.refs)
+            outer.callbacks.extend(scope.callbacks)
+            outer.mutations.extend(scope.mutations)
 
-    def _record(self, index: int, name: Optional[str]) -> None:
+    def _record(self, kind: str, name: Optional[str]) -> None:
         if name is not None and self._scopes:
-            self._scopes[-1][index].append(name)
+            getattr(self._scopes[-1], kind).append(name)
+
+    @property
+    def _at_module_level(self) -> bool:
+        return len(self._scopes) == 1
 
     # -- visitors -------------------------------------------------------
 
     def visit_Module(self, node: ast.Module) -> None:
-        self._scopes.append(("", [], [], []))
+        self._scopes.append(_Scope(""))
         self.generic_visit(node)
         self._scopes.pop()
 
@@ -239,6 +326,13 @@ class _ModuleVisitor(ast.NodeVisitor):
 
     def _visit_function(self, node: ast.AST, name: str) -> None:
         self._enter(name)
+        args = getattr(node, "args", None)
+        if args is not None:
+            scope = self._scopes[-1]
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                        args.vararg, args.kwarg):
+                if arg is not None:
+                    scope.binds.add(arg.arg)
         self.generic_visit(node)
         self._exit(node, is_function=True)
 
@@ -256,16 +350,78 @@ class _ModuleVisitor(ast.NodeVisitor):
             self.extract.root_seed_reads.append(node.lineno)
         self.generic_visit(node)
 
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Store) and self._scopes:
+            self._scopes[-1].binds.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._scopes:
+            self._scopes[-1].globals.update(node.names)
+
+    def _note_fleet_scale(self, node: ast.stmt,
+                          targets: Sequence[ast.expr]) -> None:
+        end = getattr(node, "end_lineno", node.lineno)
+        if any(line in self._fleet_lines
+               for line in range(node.lineno, end + 1)):
+            for target in targets:
+                name = _terminal(target)
+                if name is not None \
+                        and name not in self.extract.fleet_scale:
+                    self.extract.fleet_scale.append(name)
+
+    def _note_assignment(self, node: ast.stmt,
+                         targets: Sequence[ast.expr],
+                         value: Optional[ast.expr]) -> None:
+        self._note_fleet_scale(node, targets)
+        for target in targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)):
+                self._record("mutations", target.value.id)
+        if self._at_module_level and value is not None \
+                and _is_mutable_value(value):
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and target.id not in self.extract.module_mutables:
+                    self.extract.module_mutables.append(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_assignment(node, node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_assignment(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_assignment(node, [node.target], None)
+        self.generic_visit(node)
+
     def visit_Call(self, node: ast.Call) -> None:
         callee = _terminal(node.func)
-        self._record(1, callee)
+        self._record("calls", callee)
         if callee in DRAW_METHODS and isinstance(node.func, ast.Attribute):
             self._record_draw(node, callee)
         if callee is not None:
             self._record_callbacks(node, callee)
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)):
+            self._record("mutations", node.func.value.id)
+        if callee == "submit" and node.args:
+            name = _terminal(node.args[0])
+            if name is not None:
+                self.extract.worker_roots.append(name)
+            if any(isinstance(arg, ast.Lambda) for arg in node.args):
+                self.extract.worker_lambdas.append(node.lineno)
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                name = _terminal(keyword.value)
+                if name is not None:
+                    self.extract.worker_inits.append(name)
         # Any bare function reference in an argument is address-taken.
         for arg in list(node.args) + [kw.value for kw in node.keywords]:
-            self._record(2, _terminal(arg))
+            self._record("refs", _terminal(arg))
         self.generic_visit(node)
 
     # -- extraction details ---------------------------------------------
@@ -286,11 +442,11 @@ class _ModuleVisitor(ast.NodeVisitor):
             if isinstance(candidate, ast.Lambda):
                 for inner in ast.walk(candidate.body):
                     if isinstance(inner, ast.Call):
-                        self._record(3, _terminal(inner.func))
+                        self._record("callbacks", _terminal(inner.func))
                     elif isinstance(inner, (ast.Name, ast.Attribute)):
-                        self._record(3, _terminal(inner))
+                        self._record("callbacks", _terminal(inner))
             else:
-                self._record(3, _terminal(candidate))
+                self._record("callbacks", _terminal(candidate))
 
     def _record_draw(self, node: ast.Call, method: str) -> None:
         tokens: List[Optional[str]] = []
@@ -314,7 +470,7 @@ class _ModuleVisitor(ast.NodeVisitor):
             path=self.extract.path, module=self.extract.module,
             line=node.lineno, end_line=end_line, col=node.col_offset,
             method=method, tokens=tuple(tokens),
-            func=self._scopes[-1][0] if self._scopes else "",
+            func=self._scopes[-1].prefix if self._scopes else "",
             annotation=annotation))
 
 
@@ -478,6 +634,58 @@ class ProgramGraph:
     def hot_functions(self) -> Tuple[str, ...]:
         """Sorted ``module:qualname`` labels of the inferred hot set."""
         return tuple(sorted(self._hot_names))
+
+    def hot_intervals(self) -> Dict[str, List[Tuple[int, int, str]]]:
+        """path -> sorted (start, end, qualname) hot-code intervals."""
+        return {path: list(intervals)
+                for path, intervals in self._hot.items()}
+
+    def fleet_scale_names(self) -> Set[str]:
+        """Every name annotated ``# totolint: fleet-scale``, program-wide."""
+        return {name for extract in self.modules.values()
+                for name in extract.fleet_scale}
+
+    def worker_initializer_names(self) -> Set[str]:
+        """Names passed as a pool ``initializer=`` anywhere."""
+        return {name for extract in self.modules.values()
+                for name in extract.worker_inits}
+
+    def worker_functions(self) -> Set[Tuple[str, str]]:
+        """(path, qualname) of every function that can run in a pool worker.
+
+        Roots: functions submitted to a pool (``pool.submit(f, ...)``)
+        or installed as its ``initializer=``.  Edges are the same
+        name-level over-approximation the hot-set inference uses.
+        """
+        roots = {name for extract in self.modules.values()
+                 for name in (*extract.worker_roots,
+                              *extract.worker_inits)}
+        by_name: Dict[str, List[Tuple[str, FunctionNode]]] = {}
+        index: Dict[Tuple[str, str], FunctionNode] = {}
+        for path, extract in self.modules.items():
+            for function in extract.functions:
+                by_name.setdefault(function.name, []).append(
+                    (path, function))
+                index[(path, function.qualname)] = function
+
+        seen: Set[Tuple[str, str]] = set()
+        frontier = sorted(
+            (path, function.qualname)
+            for name in roots
+            for path, function in by_name.get(name, ()))
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            function = index[key]
+            for name in (*function.calls, *function.refs,
+                         *function.callbacks):
+                for target_path, target in by_name.get(name, ()):
+                    candidate = (target_path, target.qualname)
+                    if candidate not in seen:
+                        frontier.append(candidate)
+        return seen
 
     def draw_sites(self) -> Tuple[DrawSite, ...]:
         """Every draw site in the program, in stable (path, line) order."""

@@ -1,0 +1,356 @@
+"""PerfSan: the runtime allocation sanitizer.
+
+The static half of the performance contract lives in
+:mod:`repro.analysis.perf_rules` — rules TL020..TL024 reason about
+per-event allocation on the hot paths :class:`~repro.analysis.graph.
+ProgramGraph` infers.  PerfSan is the runtime half
+(``repro run --perfsan``): it executes a scenario under a
+``sys.setprofile`` hook with :mod:`tracemalloc` armed and cross-checks
+what actually happened against what the static analysis claimed:
+
+1. **Allocation mismatch** — a hot function the static pass judged
+   *allocation-free* (no call, display, comprehension, f-string, or
+   arithmetic in its body) that nevertheless allocates on most of its
+   observed calls.  That means the static model and the interpreter
+   disagree — a lint blind spot, not a style issue — so the run fails
+   loudly with the function, its call counts, and sample byte sizes.
+2. **Stale hot set** — the inferred hot set exists to focus the
+   TL020..TL024 rules; if *no* statically-hot function ever fires
+   during a real run, the inference is tracking a program that no
+   longer exists and every perf verdict built on it is suspect.
+
+Measurement is sampled, not exhaustive: only the outermost hot call is
+measured at a time, and per-call byte deltas are compared against a
+slack calibrated on an empty probe function (the profile hook itself
+allocates a frame or two).  Instrumentation is strictly opt-in; an
+uninstrumented run pays nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: AST node types whose evaluation may allocate per call.  The verdict
+#: must be conservative in exactly one direction: a function judged
+#: allocation-free must REALLY be allocation-free, so anything that
+#: *might* allocate (calls, displays, arithmetic on unbounded ints,
+#: iterators, exception raising, nested defs) disqualifies it.
+_MAY_ALLOCATE = (
+    ast.Call, ast.List, ast.Dict, ast.Set,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.Lambda, ast.JoinedStr, ast.FormattedValue,
+    ast.BinOp, ast.AugAssign,
+    ast.For, ast.AsyncFor, ast.With, ast.AsyncWith,
+    ast.Raise, ast.Try, ast.Starred, ast.Slice,
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+    ast.Yield, ast.YieldFrom, ast.Await,
+)
+
+#: Measured calls needed before an allocation verdict counts; fewer is
+#: statistically meaningless (a one-off cache fill is not "per event").
+MIN_MEASURED_CALLS = 4
+
+#: A clean function "allocates" when at least this fraction of its
+#: measured calls exceed the calibrated slack.
+MISMATCH_FRACTION = 0.5
+
+#: Per-function cap on retained byte samples (keeps the hook O(1)).
+_SAMPLE_CAP = 64
+
+_CALIBRATION_CALLS = 8
+
+
+def function_is_alloc_free(node: ast.AST) -> bool:
+    """Whether the static model claims ``node``'s body never allocates.
+
+    Decorators and argument defaults are evaluated at ``def`` time and
+    excluded; everything inside the body counts, including non-constant
+    tuple displays (constant ones are folded at compile time).
+    """
+    for statement in getattr(node, "body", ()):
+        for child in ast.walk(statement):
+            if isinstance(child, _MAY_ALLOCATE):
+                return False
+            if isinstance(child, ast.Tuple) and not all(
+                    isinstance(item, ast.Constant) for item in child.elts):
+                return False
+            # `not x` yields a cached bool; arithmetic negation of an
+            # unbounded int does allocate.
+            if isinstance(child, ast.UnaryOp) \
+                    and not isinstance(child.op, ast.Not):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One statically-hot function with its static allocation verdict."""
+
+    path: str
+    qualname: str
+    start: int
+    end: int
+    alloc_free: bool
+
+
+def _hot_functions(graph: Any) -> List[HotFunction]:
+    """The inferred hot set with per-function alloc-free verdicts."""
+    functions: List[HotFunction] = []
+    for path, intervals in sorted(graph.hot_intervals().items()):
+        try:
+            tree = ast.parse(Path(path).read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):  # deleted/edited since the build
+            continue
+        by_line: Dict[int, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                by_line[node.lineno] = node
+        for start, end, qualname in intervals:
+            node = by_line.get(start)
+            functions.append(HotFunction(
+                path=path, qualname=qualname, start=start, end=end,
+                alloc_free=(node is not None
+                            and function_is_alloc_free(node))))
+    return functions
+
+
+class _FunctionStats:
+    """Runtime counters for one hot function."""
+
+    __slots__ = ("calls", "samples")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.samples: List[int] = []
+
+
+def _calibration_probe() -> None:
+    """Empty function used to measure the hook's own allocation cost."""
+
+
+class PerfSanProfiler:
+    """``sys.setprofile`` hook that meters allocation in hot functions.
+
+    Only the outermost hot call is measured at a time (nested hot calls
+    are counted but not metered, so one window never double-books), and
+    the byte delta is the tracemalloc *peak* over the window — a
+    function that allocates and frees within one call still shows up.
+    """
+
+    def __init__(self, functions: Sequence[HotFunction]) -> None:
+        self._by_file: Dict[str, List[HotFunction]] = {}
+        self._by_qualname: Dict[Tuple[str, str], HotFunction] = {}
+        for function in functions:
+            self._by_file.setdefault(function.path, []).append(function)
+            self._by_qualname[(function.path, function.qualname)] = function
+        self._classified: Dict[Any, Optional[HotFunction]] = {}
+        self.stats: Dict[Tuple[str, str], _FunctionStats] = {}
+        self._active_frame: Optional[Any] = None
+        self._active_stats: Optional[_FunctionStats] = None
+        self._baseline = 0
+        self.slack_bytes = 0
+        self._started_tracemalloc = False
+
+    # -- classification --------------------------------------------------
+
+    def _classify(self, code: Any) -> Optional[HotFunction]:
+        """Map a code object onto the static hot set (memoized)."""
+        candidates = self._by_file.get(code.co_filename)
+        if not candidates:
+            return None
+        qualname = getattr(code, "co_qualname", code.co_name)
+        qualname = qualname.replace(".<locals>", "")
+        found = self._by_qualname.get((code.co_filename, qualname))
+        if found is not None:
+            return found
+        line = code.co_firstlineno
+        for candidate in candidates:
+            if candidate.start <= line <= candidate.end:
+                return candidate
+        return None
+
+    # -- the hook --------------------------------------------------------
+
+    def _profile(self, frame: Any, event: str, arg: Any) -> None:
+        if event == "call":
+            code = frame.f_code
+            try:
+                function = self._classified[code]
+            except KeyError:
+                function = self._classify(code)
+                self._classified[code] = function
+            if function is None:
+                return
+            key = (function.path, function.qualname)
+            stats = self.stats.get(key)
+            if stats is None:
+                stats = self.stats[key] = _FunctionStats()
+            stats.calls += 1
+            if (self._active_frame is None and function.alloc_free
+                    and len(stats.samples) < _SAMPLE_CAP):
+                self._active_frame = frame
+                self._active_stats = stats
+                tracemalloc.reset_peak()
+                self._baseline = tracemalloc.get_traced_memory()[0]
+        elif event == "return" and frame is self._active_frame:
+            peak = tracemalloc.get_traced_memory()[1]
+            self._active_stats.samples.append(peak - self._baseline)
+            self._active_frame = None
+            self._active_stats = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> None:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start(1)
+            self._started_tracemalloc = True
+        sys.setprofile(self._profile)
+        self._calibrate()
+
+    def uninstall(self) -> None:
+        sys.setprofile(None)
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+
+    def _calibrate(self) -> None:
+        """Meter an empty probe to learn the hook's intrinsic cost.
+
+        The probe is temporarily classified as a hot allocation-free
+        function so it flows through the real measurement path,
+        including the return-hook frame the window pays for.
+        """
+        code = _calibration_probe.__code__
+        probe = HotFunction(path="<perfsan-probe>", qualname="_probe",
+                            start=0, end=0, alloc_free=True)
+        self._classified[code] = probe
+        for _ in range(_CALIBRATION_CALLS):
+            _calibration_probe()
+        stats = self.stats.pop((probe.path, probe.qualname), None)
+        self._classified[code] = None
+        observed = max(stats.samples) if stats and stats.samples else 0
+        self.slack_bytes = observed + 512
+
+
+@dataclass(frozen=True)
+class AllocationMismatch:
+    """Static analysis and the interpreter disagree on one function."""
+
+    path: str
+    qualname: str
+    calls: int
+    measured: int
+    allocating: int
+    max_bytes: int
+    samples: Tuple[int, ...]
+
+    def format(self) -> str:
+        preview = ", ".join(str(size) for size in self.samples[:8])
+        return (f"{self.path}:{self.qualname} — statically judged "
+                f"allocation-free, but {self.allocating} of "
+                f"{self.measured} measured calls allocated "
+                f"(max {self.max_bytes} bytes over slack; "
+                f"{self.calls} calls total; sample deltas: {preview})")
+
+
+@dataclass
+class PerfSanReport:
+    """Outcome of one verified (``--perfsan``) run."""
+
+    hot_functions: int
+    alloc_free_functions: int
+    fired_functions: int
+    hot_calls: int
+    slack_bytes: int
+    mismatches: List[AllocationMismatch] = field(default_factory=list)
+    stale_hot_set: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.stale_hot_set
+
+    def format(self) -> str:
+        lines = [
+            f"perfsan: {self.hot_functions} statically-hot functions "
+            f"({self.alloc_free_functions} judged allocation-free), "
+            f"{self.fired_functions} fired at runtime over "
+            f"{self.hot_calls} calls",
+            f"perfsan: measurement slack {self.slack_bytes} bytes "
+            "(calibrated)",
+        ]
+        if self.stale_hot_set:
+            lines.append(
+                "perfsan: STALE HOT SET — no statically-hot function "
+                "ever fired; the inferred hot set no longer matches "
+                "the running program and every TL020..TL024 verdict "
+                "built on it is suspect")
+        for mismatch in self.mismatches:
+            lines.append(f"perfsan: ALLOCATION MISMATCH {mismatch.format()}")
+        if self.ok:
+            lines.append(
+                "perfsan: OK — every allocation-free verdict held at "
+                "runtime, hot set live")
+        return "\n".join(lines)
+
+
+def evaluate(functions: Sequence[HotFunction],
+             profiler: PerfSanProfiler) -> PerfSanReport:
+    """Cross-check runtime stats against the static verdicts."""
+    by_key = {(f.path, f.qualname): f for f in functions}
+    report = PerfSanReport(
+        hot_functions=len(by_key),
+        alloc_free_functions=sum(1 for f in by_key.values() if f.alloc_free),
+        fired_functions=sum(1 for s in profiler.stats.values() if s.calls),
+        hot_calls=sum(s.calls for s in profiler.stats.values()),
+        slack_bytes=profiler.slack_bytes,
+    )
+    report.stale_hot_set = bool(by_key) and report.hot_calls == 0
+    slack = profiler.slack_bytes
+    for key, stats in sorted(profiler.stats.items()):
+        function = by_key.get(key)
+        if function is None or not function.alloc_free:
+            continue
+        if len(stats.samples) < MIN_MEASURED_CALLS:
+            continue
+        allocating = [size for size in stats.samples if size > slack]
+        if len(allocating) < MISMATCH_FRACTION * len(stats.samples):
+            continue
+        report.mismatches.append(AllocationMismatch(
+            path=function.path, qualname=function.qualname,
+            calls=stats.calls, measured=len(stats.samples),
+            allocating=len(allocating),
+            max_bytes=max(allocating) - slack,
+            samples=tuple(stats.samples)))
+    return report
+
+
+def verify_perf_run(scenario: Any,
+                    paths: Optional[Sequence[Path]] = None,
+                    cache_path: Optional[Path] = None
+                    ) -> Tuple[Any, PerfSanReport]:
+    """Run ``scenario`` once under PerfSan and cross-check the verdicts.
+
+    Returns ``(result, report)`` where ``result`` is the run's
+    :class:`~repro.core.runner.BenchmarkResult`.  Runner imports are
+    deferred so the analysis layer stays importable on its own.
+    """
+    from repro.analysis.graph import ProgramGraph
+    from repro.core.runner import run_scenario
+
+    if paths is None:
+        import repro
+        paths = [Path(repro.__file__).resolve().parent]
+    graph = ProgramGraph.build(list(paths), cache_path=cache_path)
+    functions = _hot_functions(graph)
+
+    profiler = PerfSanProfiler(functions)
+    profiler.install()
+    try:
+        result = run_scenario(scenario)
+    finally:
+        profiler.uninstall()
+    return result, evaluate(functions, profiler)

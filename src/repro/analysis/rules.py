@@ -52,6 +52,9 @@ class Rule:
     #: Program-wide rules run once per lint over the substream registry
     #: (:meth:`check_program`) instead of once per module.
     program_wide: bool = False
+    #: SARIF severity: ``"error"`` for contract rules, ``"warning"``
+    #: for advisory ones (TL024) that ratchet via the baseline.
+    level: str = "error"
 
     def applies_to(self, context: ModuleContext) -> bool:
         return not self.scopes or context.in_package(*self.scopes)
@@ -741,3 +744,11 @@ class ObservabilityIsPassive(Rule):
     def _banned(self, module: str) -> bool:
         return any(module == banned or module.startswith(banned + ".")
                    for banned in self._BANNED_MODULES)
+
+
+# ---------------------------------------------------------------------------
+# TL020..TL024 — the performance tier ("totoperf"), defined in its own
+# module.  Imported last: the perf rules subclass Rule/register above,
+# which are already bound by the time this import executes.
+
+from repro.analysis import perf_rules as _perf_rules  # noqa: E402,F401

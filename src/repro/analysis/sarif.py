@@ -29,16 +29,17 @@ def format_sarif(report: LintReport) -> str:
             "name": type(rule).__name__,
             "shortDescription": {"text": rule.title},
             "fullDescription": {"text": rule.rationale},
-            "defaultConfiguration": {"level": "error"},
+            "defaultConfiguration": {"level": rule.level},
         }
         for rule in all_rules()
     ]
+    levels = {rule.code: rule.level for rule in all_rules()}
     rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
     results: List[Dict[str, object]] = [
         {
             "ruleId": violation.rule,
             "ruleIndex": rule_index.get(violation.rule, -1),
-            "level": "error",
+            "level": levels.get(violation.rule, "error"),
             "message": {"text": violation.message},
             "locations": [{
                 "physicalLocation": {

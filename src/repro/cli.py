@@ -131,12 +131,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"running {scenario.name} for "
           f"{format_duration(scenario.duration)} ...")
     detsan_exit = 0
+    result = None
     if args.detsan:
         from repro.analysis.detsan import verify_run
         result, report = verify_run(scenario)
         print(report.format())
         detsan_exit = 0 if report.ok else 1
-    else:
+    if args.perfsan:
+        from repro.analysis.perfsan import verify_perf_run
+        result, perf_report = verify_perf_run(scenario)
+        print(perf_report.format())
+        detsan_exit = detsan_exit or (0 if perf_report.ok else 1)
+    if result is None:
         result = run_scenario(scenario)
     kpis = result.kpis
     print(f"reserved cores : {kpis.final_reserved_cores:.0f} "
@@ -258,7 +264,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
                     rules=args.rules, list_rules=args.list_rules,
                     sarif=args.sarif, baseline=args.baseline,
                     write_baseline=args.write_baseline,
-                    cache=args.cache, no_program=args.no_program)
+                    cache=args.cache, no_program=args.no_program,
+                    select=args.select, ignore=args.ignore)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -301,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "twice, cross-check the RNG/event ledgers and "
                           "the static substream registry (exit 1 on any "
                           "divergence or unknown draw site)")
+    run.add_argument("--perfsan", action="store_true",
+                     help="run under the allocation sanitizer: meter "
+                          "per-call allocation in the inferred hot set "
+                          "with tracemalloc and cross-check the static "
+                          "TL020 allocation-free verdicts (exit 1 on "
+                          "any mismatch or a stale hot set)")
     run.add_argument("--trace", action="store_true",
                      help="record a span per executed event (plus chaos "
                           "gate marks) to trace.jsonl")

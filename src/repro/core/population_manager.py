@@ -98,7 +98,7 @@ class PopulationManager:
         self._drop_labels = {edition: f"drop-{edition.short_name}"
                              for edition in models.editions}
         #: Request log, kept for determinism assertions across runs.
-        self.request_log: List[CreateRequest] = []
+        self.request_log: List[CreateRequest] = []  # totolint: fleet-scale
 
     # ------------------------------------------------------------------
 

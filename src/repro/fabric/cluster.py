@@ -95,7 +95,7 @@ class ServiceFabricCluster(ClusterView):
         self._capacity_cache: Dict[str, float] = {}
         self._replica_ids = itertools.count(1)
         self._replicas_by_id: Dict[int, Replica] = {}
-        self.failovers: List[FailoverRecord] = []
+        self.failovers: List[FailoverRecord] = []  # totolint: fleet-scale
         self._failover_listeners: List[FailoverListener] = []
         #: In-flight replica rebuilds: service id -> finish timestamp.
         self._rebuilding_until: Dict[str, int] = {}
@@ -266,7 +266,8 @@ class ServiceFabricCluster(ClusterView):
         node.available = False
         records: List[FailoverRecord] = []
         for replica in list(node.replicas):
-            record = self.service(replica.service_id)
+            service_id = replica.service_id
+            record = self.service(service_id)
             role_at_failure = replica.role
             # Downtime semantics match a reactive failover: single
             # replica = reattach window, lost primary = promotion.
@@ -275,7 +276,7 @@ class ServiceFabricCluster(ClusterView):
             node.detach(replica)
             if (role_at_failure is ReplicaRole.PRIMARY
                     and record.replica_count > 1):
-                self.promote_new_primary(replica.service_id,
+                self.promote_new_primary(service_id,
                                          exclude_replica=replica.replica_id)
                 replica.role = ReplicaRole.SECONDARY
             target = self.plb.choose_target(replica, node)
@@ -287,10 +288,10 @@ class ServiceFabricCluster(ClusterView):
             rebuild = rebuild_seconds(replica.load(DISK_GB),
                                       record.replica_count)
             if record.replica_count > 1 and rebuild > 0:
-                self.set_rebuilding(replica.service_id,
+                self.set_rebuilding(service_id,
                                     int(now + rebuild))
             records.append(FailoverRecord(
-                time=now, service_id=replica.service_id,
+                time=now, service_id=service_id,
                 replica_id=replica.replica_id, role=role_at_failure,
                 from_node=node_id, to_node=target.node_id,
                 metric=CPU_CORES, cores_moved=replica.cpu_cores,
@@ -320,7 +321,8 @@ class ServiceFabricCluster(ClusterView):
         still_pending: List[tuple] = []
         records: List[FailoverRecord] = []
         for replica, source, since, downtime, role in self._pending:
-            if not self.has_service(replica.service_id):
+            service_id = replica.service_id
+            if not self.has_service(service_id):
                 continue  # dropped while pending
             target = self.plb.choose_target(replica, source)
             if target is None:
@@ -328,12 +330,12 @@ class ServiceFabricCluster(ClusterView):
                                       role))
                 continue
             target.attach(replica)
-            record = self.service(replica.service_id)
+            record = self.service(service_id)
             total_downtime = downtime
             if record.replica_count == 1:
                 total_downtime += float(now - since)
             records.append(FailoverRecord(
-                time=now, service_id=replica.service_id,
+                time=now, service_id=service_id,
                 replica_id=replica.replica_id, role=role,
                 from_node=source.node_id, to_node=target.node_id,
                 metric=CPU_CORES, cores_moved=replica.cpu_cores,

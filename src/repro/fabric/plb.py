@@ -30,6 +30,10 @@ from repro.fabric.metrics import CPU_CORES, DISK_GB, MEMORY_GB
 from repro.fabric.node import Node
 from repro.fabric.replica import Replica, ReplicaRole
 
+#: Metrics that cannot be freed by moving CPU reservations; hoisted so
+#: the make-room scan does not rebuild the tuple per node (TL020).
+_UNSHEDDABLE_METRICS = (DISK_GB, MEMORY_GB)
+
 #: Hard cap on replica moves per violation sweep, so a cluster that is
 #: globally out of disk cannot spin the balancer forever.
 MAX_MOVES_PER_SWEEP = 64
@@ -194,7 +198,7 @@ class PlacementAndLoadBalancer:
             blocked_by_other = any(
                 loads.get(metric, 0.0) > 0
                 and node.free(metric) < loads.get(metric, 0.0)
-                for metric in (DISK_GB, MEMORY_GB))
+                for metric in _UNSHEDDABLE_METRICS)
             if blocked_by_other:
                 continue
             shortfall = needed_cpu - node.free(CPU_CORES)

@@ -50,7 +50,12 @@ class ControlPlane:
 
     def __init__(self, cluster: ServiceFabricCluster) -> None:
         self._cluster = cluster
-        self._databases: Dict[str, DatabaseInstance] = {}
+        self._databases: Dict[str, DatabaseInstance] = {}  # totolint: fleet-scale
+        # Active subset, maintained on create/drop. ``_databases`` keeps
+        # every database ever created and grows without bound over a
+        # multi-day run, while the active set is bounded by cluster
+        # capacity — per-event queries must scan this one (TL022).
+        self._active: Dict[str, DatabaseInstance] = {}
         self._db_ids = itertools.count(1)
         self.redirects: List[CreationRedirect] = []
         self.creates_succeeded = 0
@@ -87,11 +92,14 @@ class ControlPlane:
                          edition: Optional[Edition] = None
                          ) -> List[DatabaseInstance]:
         """Currently hosted databases, optionally filtered by edition."""
-        return [db for db in self._databases.values()
-                if db.is_active
-                and (edition is None or db.edition is edition)]
+        if edition is None:
+            return list(self._active.values())
+        return [db for db in self._active.values()
+                if db.edition is edition]
 
     def active_count(self, edition: Optional[Edition] = None) -> int:
+        if edition is None:
+            return len(self._active)
         return len(self.active_databases(edition))
 
     def redirect_count(self) -> int:
@@ -165,6 +173,7 @@ class ControlPlane:
                 free_cores=int(free_cores)) from exc
 
         self._databases[db_id] = database
+        self._active[db_id] = database
         self.creates_succeeded += 1
         for listener in self._creation_listeners:
             listener(database)
@@ -183,6 +192,7 @@ class ControlPlane:
         record = self._cluster.service(db_id)
         dropped_replica_ids = [r.replica_id for r in record.replicas]
         database.mark_dropped(now)
+        del self._active[db_id]
         self._cluster.drop_service(db_id)
         clear_persisted_loads(self._cluster.naming, db_id)
         self.drops_executed += 1

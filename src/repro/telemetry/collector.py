@@ -59,7 +59,7 @@ class TelemetryCollector:
                  interval: int = HOUR) -> None:
         self._kernel = kernel
         self._ring = ring
-        self.frames: List[TelemetryFrame] = []
+        self.frames: List[TelemetryFrame] = []  # totolint: fleet-scale
         self._start_time: Optional[int] = None
         self._process = PeriodicProcess(kernel, interval, self._snapshot,
                                         label="telemetry-collector")

@@ -33,6 +33,7 @@ from repro.analysis.cli import (
     run_lint,
 )
 from repro.analysis.engine import LintEngineError, module_name_for
+from repro.analysis.perf_rules import PERF_TIER
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -377,7 +378,8 @@ class TestEngine:
 
     def test_catalogue_is_complete(self):
         assert [rule.code for rule in all_rules()] == [
-            f"TL{n:03d}" for n in range(1, 15)]
+            f"TL{n:03d}" for n in range(1, 15)] + [
+            f"TL{n:03d}" for n in range(20, 25)]
         for rule in all_rules():
             assert rule.title and rule.rationale
 
@@ -472,7 +474,12 @@ class TestRepoIsClean:
     hiding real problems outside the two audited ones."""
 
     def test_whole_package_lints_clean(self):
-        report = lint_paths([REPO / "src" / "repro"])
+        # The determinism tier gates hard with no baseline; the perf
+        # tier's remaining findings ride the committed burn-down
+        # baseline (test_analysis_program.py checks that side).
+        determinism = [rule for rule in all_rules()
+                       if rule.code not in PERF_TIER]
+        report = lint_paths([REPO / "src" / "repro"], rules=determinism)
         assert report.files_checked > 80
         assert report.violations == (), format_text(report)
 

@@ -111,14 +111,37 @@ class TestStaticAnalysisDoc:
 
     def test_readme_mentions_the_runtime_half(self):
         assert "--detsan" in README
+        assert "--perfsan" in README
         assert "TL001–TL014" in README
+        assert "TL020–TL024" in README
 
-    def test_committed_baseline_is_empty_and_valid(self):
+    def test_documented_rule_ids_match_registered_ones(self):
+        from repro.analysis import all_rules
+        registered = {rule.code for rule in all_rules()}
+        documented = set(re.findall(r"### (TL\d+)", self.DOC))
+        assert documented == registered, \
+            "docs/STATIC_ANALYSIS.md sections out of sync with the registry"
+
+    def test_perf_tier_and_perfsan_are_documented(self):
+        assert "--perfsan" in self.DOC
+        assert "PerfSan" in self.DOC
+        assert "fleet-scale" in self.DOC
+        assert "--select" in self.DOC
+        assert "--ignore" in self.DOC
+
+    def test_committed_baseline_is_valid_and_perf_tier_only(self):
         import json
+        from repro.analysis.perf_rules import PERF_TIER
         payload = json.loads(
             (REPO / "totolint-baseline.json").read_text())
-        assert payload["entries"] == [], \
-            "the tree should lint clean; burn findings down, don't park them"
+        assert payload["version"] == 1
+        assert payload["entries"], \
+            "the perf ratchet should hold the burn-down list"
+        for entry in payload["entries"]:
+            assert entry["rule"] in PERF_TIER, \
+                "determinism findings must be fixed, never parked"
+            assert not entry["path"].startswith("/"), \
+                "baseline paths must be repo-relative for CI portability"
 
 
 class TestObsDoc:
