@@ -25,6 +25,12 @@ current state instead of guessing:
   workers the speedup is reported as ``null`` with a ``"cpu-bound"``
   note (process parallelism cannot pay without cores — a ~1.0x wall
   ratio there is expected, not a parallelism regression);
+* ``fleet`` — the region-scale tier (docs/FLEET.md): N clusters
+  stamped from one template, run serial vs sharded, recording wall
+  clock and the merged summary digest. The digest is a pure function
+  of the topology, so ``--check`` replays the committed configuration
+  and fails on any drift — a deterministic gate, immune to machine
+  noise;
 * ``lint`` — cold vs. content-hash-cached whole-program analysis of
   ``src/repro`` (``benchmarks/bench_lint.py``).
 
@@ -54,6 +60,7 @@ from benchmarks.bench_perf_kernel import pump_kernel  # noqa: E402
 from repro import __version__  # noqa: E402
 from repro.core.runner import run_scenario  # noqa: E402
 from repro.experiments.scenarios import paper_scenario  # noqa: E402
+from repro.fleet import ClusterTemplate, FleetTopology, run_fleet  # noqa: E402
 from repro.parallel import SweepExecutor  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
@@ -98,10 +105,16 @@ def check_kernel_regression(measured: float, out_path: str) -> int:
 def run_checks(out_path: str, kernel_events: int) -> int:
     """The ``--check`` regression gates against the committed record.
 
-    Three gates, all reported before the combined verdict:
+    Five gates, all reported before the combined verdict:
 
     * **sweep** — the committed record itself must say the parallel
       sweep reproduced the serial results (``results_identical``);
+    * **sweep ratio** — the committed speedup must not be < 1.0;
+      skipped (like the kernel gate) when the committed record is
+      cpu-bound (``effective_cores < workers``), where the wall ratio
+      measures scheduler noise rather than parallelism;
+    * **fleet** — replay the committed fleet configuration serially
+      and compare merged digests (deterministic, machine-independent);
     * **kernel** — re-measure and compare throughput, skipped with a
       warning when the committed record was taken on a machine with a
       different core count (throughput is not comparable across them);
@@ -115,13 +128,33 @@ def run_checks(out_path: str, kernel_events: int) -> int:
     committed = json.loads(path.read_text())
     failures = 0
 
-    if committed.get("sweep", {}).get("results_identical") is False:
+    sweep = committed.get("sweep", {})
+    if sweep.get("results_identical") is False:
         print("sweep: committed record shows parallel != serial results "
               "-> FAIL (the sweep must reproduce the serial run "
               "byte for byte before its numbers mean anything)")
         failures += 1
     else:
         print("sweep: committed results_identical -> OK")
+
+    sweep_workers = sweep.get("workers")
+    sweep_cores = sweep.get("effective_cores")
+    if (sweep_cores is not None and sweep_workers is not None
+            and sweep_cores < sweep_workers):
+        # Same reasoning as the kernel gate's cross-machine skip: with
+        # fewer cores than workers the wall ratio measures scheduler
+        # noise, so on a 1-core CI runner it must not gate anything.
+        print(f"sweep ratio gate SKIPPED: committed record is cpu-bound "
+              f"({sweep_cores} core(s) < {sweep_workers} workers)")
+    elif sweep.get("speedup") is not None and sweep["speedup"] < 1.0:
+        print(f"sweep ratio: committed speedup {sweep['speedup']} < 1.0 "
+              "-> FAIL (parallel slower than serial on a machine with "
+              "enough cores)")
+        failures += 1
+    else:
+        print("sweep ratio: OK")
+
+    failures += check_fleet_gate(committed.get("fleet"))
 
     committed_cpus = committed.get("machine", {}).get("cpu_count")
     current_cpus = os.cpu_count()
@@ -150,6 +183,67 @@ def run_checks(out_path: str, kernel_events: int) -> int:
               "lint.cold_seconds")
 
     return 1 if failures else 0
+
+
+def check_fleet_gate(fleet: dict) -> int:
+    """Deterministic fleet gate: replay the committed config, compare
+    digests.
+
+    Unlike the timing gates, the fleet digest is a pure function of the
+    topology — identical on every machine — so this gate re-runs the
+    committed configuration serially and fails on *any* drift in the
+    simulator, the columnar stores, the worker-side reducer, or the
+    merge.
+    """
+    if not fleet:
+        print("fleet gate skipped: committed record has no fleet row")
+        return 0
+    if fleet.get("digests_identical") is False:
+        print("fleet: committed record shows serial != sharded digest "
+              "-> FAIL (the fleet merge must be execution-mode "
+              "independent)")
+        return 1
+    topology = FleetTopology(
+        cluster_count=fleet["clusters"], prefix="bench",
+        template=ClusterTemplate(node_count=fleet["node_count"],
+                                 days=fleet["days"]))
+    print(f"fleet digest replay ({fleet['clusters']} clusters) ...",
+          flush=True)
+    measured = run_fleet(topology, max_workers=1).digest
+    verdict = "OK" if measured == fleet["digest"] else "REGRESSION"
+    print(f"fleet digest: measured {measured[:16]}... vs committed "
+          f"{fleet['digest'][:16]}... -> {verdict}")
+    return 0 if measured == fleet["digest"] else 1
+
+
+def bench_fleet(clusters: int, node_count: int, days: float,
+                workers: int) -> dict:
+    """Fleet-scale row: serial vs sharded wall clock plus the digest."""
+    topology = FleetTopology(
+        cluster_count=clusters, prefix="bench",
+        template=ClusterTemplate(node_count=node_count, days=days))
+    start = time.perf_counter()
+    serial = run_fleet(topology, max_workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = run_fleet(topology, max_workers=workers)
+    sharded_seconds = time.perf_counter() - start
+    return {
+        "clusters": clusters,
+        "node_count": node_count,
+        "days": days,
+        "databases": serial.kpis.databases_created,
+        "events": serial.kpis.events_executed,
+        "serial_seconds": round(serial_seconds, 2),
+        "sharded_seconds": round(sharded_seconds, 2),
+        "workers": workers,
+        "effective_cores": os.cpu_count() or 1,
+        "events_per_sec": round(
+            serial.kpis.events_executed / serial_seconds, 1),
+        "mode": sharded.mode,
+        "digest": serial.digest,
+        "digests_identical": serial.digest == sharded.digest,
+    }
 
 
 def bench_single_run(days: float, seed: int = 42) -> dict:
@@ -222,9 +316,11 @@ def main(argv=None) -> int:
 
     if args.quick:
         kernel_events, run_days, sweep_days, seeds = 100_000, 0.25, 0.1, (42,)
+        fleet_clusters = 10
     else:
         kernel_events, run_days, sweep_days, seeds = (
             400_000, 6.0, 0.5, (42, 43, 44))
+        fleet_clusters = 100
 
     if args.check:
         return run_checks(args.out, kernel_events)
@@ -247,6 +343,14 @@ def main(argv=None) -> int:
     print(f"  serial {sweep['serial_seconds']}s, parallel "
           f"{sweep['parallel_seconds']}s -> {shown} ({sweep['mode']})")
 
+    print(f"{fleet_clusters}-cluster fleet, serial vs {args.workers} "
+          "workers ...", flush=True)
+    fleet = bench_fleet(fleet_clusters, node_count=4, days=0.05,
+                        workers=args.workers)
+    print(f"  {fleet['databases']} databases, serial "
+          f"{fleet['serial_seconds']}s, sharded {fleet['sharded_seconds']}s, "
+          f"digests_identical={fleet['digests_identical']}")
+
     print("whole-program lint, cold vs cached ...", flush=True)
     lint = bench_lint(repeats=1 if args.quick else 3)
     print(f"  cold {lint['cold_seconds']}s, cached "
@@ -268,6 +372,7 @@ def main(argv=None) -> int:
         "kernel_events_per_sec": round(kernel["events_per_sec"]),
         "single_run": single,
         "sweep": sweep,
+        "fleet": fleet,
         "lint": lint,
         "totoperf": totoperf,
     }

@@ -12,6 +12,8 @@
   (Figures 7, 8, 9) and the model-selection ablation;
 * :mod:`repro.experiments.sensitivity` — configuration-change sweeps
   (the paper's use case (a));
+* :mod:`repro.experiments.fleet` — the region-scale fleet density
+  study (ROADMAP item 1, docs/FLEET.md);
 * :mod:`repro.experiments.export` — JSON archival of runs/studies;
 * :mod:`repro.experiments.report` — plain-text table rendering shared
   by the benchmarks.
@@ -21,5 +23,15 @@ from repro.experiments.density import DensityStudy
 from repro.experiments.scenarios import paper_scenario, trained_artifacts
 from repro.experiments.sensitivity import ConfigSweep, Variant
 
-__all__ = ["ConfigSweep", "DensityStudy", "Variant", "paper_scenario",
-           "trained_artifacts"]
+__all__ = ["ConfigSweep", "DensityStudy", "FleetDensityStudy", "Variant",
+           "paper_scenario", "trained_artifacts"]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.fleet.topology itself imports
+    # repro.experiments.scenarios, so an eager import here would be
+    # circular (fleet -> experiments -> fleet).
+    if name == "FleetDensityStudy":
+        from repro.experiments.fleet import FleetDensityStudy
+        return FleetDensityStudy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

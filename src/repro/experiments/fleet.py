@@ -1,0 +1,171 @@
+"""The fleet density study: region-scale packing in one sweep.
+
+The single-cluster density study (§5, :mod:`repro.experiments.density`)
+re-runs one 14-node ring at four density settings. At region scale the
+same question — how hard can the control plane pack tenants before QoS
+and revenue degrade — is asked across a *heterogeneous fleet*: clusters
+are stamped from one template but cycle through the density levels, so
+one 100-cluster sweep yields a per-density comparison with ~25 clusters
+of statistical weight behind every level and ≥1M databases in total.
+
+Each worker reduces its cluster to a
+:class:`~repro.fleet.summary.ClusterSummary` before anything crosses
+the process boundary, so the study's parent-side footprint is ~100
+small summaries regardless of the million databases simulated
+(docs/FLEET.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import DEFAULT_SCENARIO_SEED
+from repro.fleet import (
+    ClusterTemplate,
+    FleetResult,
+    FleetTopology,
+    fleet_obs_export,
+    run_fleet,
+)
+from repro.obs.export import ObsExport
+from repro.parallel.executor import ProgressCallback
+from repro.units import MINUTE
+
+#: The paper's density levels, cycled across the fleet's clusters.
+FLEET_DENSITIES: Tuple[float, ...] = (1.0, 1.1, 1.2, 1.4)
+
+#: Default per-cluster ring size. 640 gen5 nodes host the Table 2
+#: population scaled ~46x — 10,057 databases — so the default
+#: 100-cluster fleet simulates 1,005,700 databases.
+FLEET_NODE_COUNT = 640
+
+
+@dataclass(frozen=True)
+class FleetDensityRow:
+    """One density level's region-wide roll-up (spec-ordered clusters)."""
+
+    density: float
+    clusters: int
+    databases_created: int
+    active_databases: int
+    reserved_cores: float
+    disk_gb: float
+    creation_redirects: int
+    failover_count: int
+    revenue_adjusted: float
+
+    @property
+    def density_pct(self) -> int:
+        return int(round(self.density * 100))
+
+
+class FleetDensityStudy:
+    """100 clusters, ≥1M databases, one deterministic sweep.
+
+    ``max_workers`` only controls how the sweep executes — serial and
+    sharded runs produce byte-identical summaries and digests
+    (tests/test_fleet_merge.py) — so CI hardware picks the wall clock,
+    never the numbers.
+    """
+
+    def __init__(self, cluster_count: int = 100,
+                 node_count: int = FLEET_NODE_COUNT,
+                 days: float = 0.1,
+                 densities: Tuple[float, ...] = FLEET_DENSITIES,
+                 base_seed: int = DEFAULT_SCENARIO_SEED,
+                 chaos: Optional[str] = None,
+                 max_workers: Optional[int] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        self.topology = FleetTopology(
+            cluster_count=cluster_count,
+            template=ClusterTemplate(
+                node_count=node_count,
+                days=days,
+                report_interval=30 * MINUTE,
+                chaos=chaos,
+            ),
+            base_seed=base_seed,
+            prefix="density",
+            densities=tuple(densities),
+        )
+        self.max_workers = max_workers
+        self.progress = progress
+        self._result: Optional[FleetResult] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Execute (or return) the cached fleet sweep."""
+        if self._result is None:
+            self._result = run_fleet(self.topology,
+                                     max_workers=self.max_workers,
+                                     progress=self.progress)
+        return self._result
+
+    # ------------------------------------------------------------------
+
+    def density_rows(self) -> List[FleetDensityRow]:
+        """Region KPIs per density level, ascending density.
+
+        Within each level, clusters accumulate in spec order — the same
+        sequential-float contract as the full fleet merge.
+        """
+        result = self.run()
+        levels = sorted(set(summary.density
+                            for summary in result.summaries))
+        rows: List[FleetDensityRow] = []
+        for level in levels:
+            clusters = 0
+            created = 0
+            active = 0
+            cores = 0.0
+            disk = 0.0
+            redirects = 0
+            failovers = 0
+            adjusted = 0.0
+            for summary in result.summaries:
+                if summary.density != level:
+                    continue
+                clusters += 1
+                created += summary.databases_created
+                active += summary.active_databases
+                cores += summary.final_reserved_cores
+                disk += summary.final_disk_gb
+                redirects += summary.creation_redirects
+                failovers += summary.failover_count
+                adjusted += summary.revenue_adjusted
+            rows.append(FleetDensityRow(
+                density=level,
+                clusters=clusters,
+                databases_created=created,
+                active_databases=active,
+                reserved_cores=cores,
+                disk_gb=disk,
+                creation_redirects=redirects,
+                failover_count=failovers,
+                revenue_adjusted=adjusted,
+            ))
+        return rows
+
+    def format_summary(self) -> str:
+        result = self.run()
+        kpis = result.kpis
+        header = (f"fleet: {kpis.clusters} clusters, {kpis.nodes} nodes, "
+                  f"{kpis.databases_created} databases "
+                  f"({result.mode} sweep, digest {result.digest[:12]})")
+        rows = [(row.density_pct, row.clusters, row.databases_created,
+                 round(row.reserved_cores), round(row.disk_gb),
+                 row.creation_redirects, row.failover_count,
+                 round(row.revenue_adjusted))
+                for row in self.density_rows()]
+        table = format_table(
+            ["density %", "clusters", "databases", "reserved cores",
+             "disk GB", "redirects", "failovers", "adjusted $"],
+            rows, title="Fleet density study — region KPIs per level")
+        return header + "\n\n" + table
+
+    def obs_export(self) -> ObsExport:
+        """Region-wide observability artifacts for the merged run."""
+        return fleet_obs_export(self.run())

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional
 
 import numpy as np
 
 from repro.errors import FabricError, PlacementError, UnknownReplicaError
+from repro.fabric import colstore
 from repro.fabric.failover import (
     REASON_NODE_FAILURE,
     FailoverRecord,
@@ -33,6 +34,16 @@ from repro.fabric.plb import ClusterView, PlacementAndLoadBalancer
 from repro.fabric.replica import Replica, ReplicaRole
 
 FailoverListener = Callable[[FailoverRecord], None]
+
+
+class PendingReplica(NamedTuple):
+    """A replica displaced by a node failure, waiting for capacity."""
+
+    replica: Replica
+    source: Node
+    since: int
+    downtime: float
+    role: ReplicaRole
 
 
 @dataclass
@@ -88,6 +99,11 @@ class ServiceFabricCluster(ClusterView):
                                             use_annealing=use_annealing,
                                             downtime_rng=downtime_rng)
         self._services: Dict[str, ServiceRecord] = {}
+        #: Columnar replica-load backing (fleet-scale path); ``None``
+        #: selects the classic per-replica dict state.
+        self._load_store: Optional[colstore.ReplicaLoadStore] = (
+            colstore.ReplicaLoadStore() if colstore.columnar_enabled()
+            else None)
         #: Per-metric totals are static after construction (the node
         #: list and every node's capacities never change), but they are
         #: consulted in every telemetry frame and KPI assembly — so
@@ -100,9 +116,8 @@ class ServiceFabricCluster(ClusterView):
         #: In-flight replica rebuilds: service id -> finish timestamp.
         self._rebuilding_until: Dict[str, int] = {}
         #: Replicas displaced by a node failure still waiting for
-        #: capacity: (replica, failed node, failure time, downtime
-        #: booked at failure).
-        self._pending: List[tuple] = []
+        #: capacity (with the downtime booked at failure time).
+        self._pending: List[PendingReplica] = []
 
     # ------------------------------------------------------------------
     # Topology queries
@@ -209,11 +224,14 @@ class ServiceFabricCluster(ClusterView):
         record = ServiceRecord(service_id=service_id,
                                replica_count=replica_count,
                                cpu_cores=cpu_cores, created_at=now)
+        store = self._load_store
         for index, node_id in enumerate(node_ids):
             role = ReplicaRole.PRIMARY if index == 0 else ReplicaRole.SECONDARY
+            reported = store.allocate(loads) if store is not None \
+                else dict(loads)
             replica = Replica(replica_id=next(self._replica_ids),
                               service_id=service_id, role=role,
-                              reported=dict(loads))
+                              reported=reported)
             self.nodes[node_id].attach(replica)
             record.replicas.append(replica)
             self._replicas_by_id[replica.replica_id] = replica
@@ -223,10 +241,13 @@ class ServiceFabricCluster(ClusterView):
     def drop_service(self, service_id: str) -> ServiceRecord:
         """Remove all replicas of a service and free their capacity."""
         record = self.service(service_id)
+        store = self._load_store
         for replica in record.replicas:
             if replica.node_id is not None:
                 self.nodes[replica.node_id].detach(replica)
             del self._replicas_by_id[replica.replica_id]
+            if store is not None:
+                store.release(replica.reported)
         del self._services[service_id]
         self._rebuilding_until.pop(service_id, None)
         return record
@@ -281,8 +302,8 @@ class ServiceFabricCluster(ClusterView):
                 replica.role = ReplicaRole.SECONDARY
             target = self.plb.choose_target(replica, node)
             if target is None:
-                self._pending.append((replica, node, now, downtime,
-                                      role_at_failure))
+                self._pending.append(PendingReplica(
+                    replica, node, now, downtime, role_at_failure))
                 continue
             target.attach(replica)
             rebuild = rebuild_seconds(replica.load(DISK_GB),
@@ -318,16 +339,16 @@ class ServiceFabricCluster(ClusterView):
         """
         if not self._pending:
             return
-        still_pending: List[tuple] = []
+        still_pending: List[PendingReplica] = []
         records: List[FailoverRecord] = []
-        for replica, source, since, downtime, role in self._pending:
+        for pending in self._pending:
+            replica, source, since, downtime, role = pending
             service_id = replica.service_id
             if not self.has_service(service_id):
                 continue  # dropped while pending
             target = self.plb.choose_target(replica, source)
             if target is None:
-                still_pending.append((replica, source, since, downtime,
-                                      role))
+                still_pending.append(pending)
                 continue
             target.attach(replica)
             record = self.service(service_id)

@@ -1,0 +1,278 @@
+"""Columnar (struct-of-arrays) storage for hot per-replica state.
+
+At paper scale (~220 databases on 14 nodes) every replica carrying its
+own ``{metric: value}`` dict is fine; at fleet scale (ROADMAP item 1:
+millions of databases across hundreds of clusters) those dicts dominate
+the heap. :class:`ReplicaLoadStore` keeps every replica's reported
+loads in shared numpy columns — one float64 row per replica, one column
+per core metric — and hands each replica a
+:class:`ReplicaLoadView`, a ``MutableMapping`` that behaves exactly
+like the dict it replaces (same keys, same iteration order, same
+``get``/``items`` semantics), so no caller changes.
+
+Byte-identity contract (tests/test_fleet_scale.py):
+
+* Values are stored in float64 cells. Python floats *are* IEEE-754
+  doubles, so a store/load round trip through a numpy cell is exact;
+  every read converts back to a built-in ``float`` before the value
+  can reach arithmetic, comparisons, or pickles.
+* Iteration yields metrics in :data:`STORE_METRICS` order — the order
+  the control plane builds a new replica's reported dict in
+  (disk, memory, cpu) — so aggregate summation order, and therefore
+  the accumulated node loads, match the object path bit for bit.
+* The object-graph implementation stays available as an A/B fallback:
+  set ``TOTO_OBJECT_STATE=1`` (or monkeypatch :data:`COLUMNAR_STATE`)
+  and clusters hand replicas plain dicts again. The property tests
+  drive both paths through random workloads and assert byte-equal
+  results.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import MutableMapping
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fabric.metrics import CPU_CORES, DISK_GB, MEMORY_GB
+
+#: Columnar storage is the default; the object-graph fallback exists so
+#: the property suite can pin the two paths against each other (and as
+#: an escape hatch). Consulted at *store construction* time so tests
+#: can monkeypatch it per-instance without reloading modules.
+COLUMNAR_STATE = not bool(os.environ.get("TOTO_OBJECT_STATE"))
+
+
+def columnar_enabled() -> bool:
+    """Whether newly built clusters/control planes use columnar state."""
+    return COLUMNAR_STATE
+
+
+#: Column order of the store — deliberately the insertion order the
+#: control plane uses when it builds a new replica's reported loads
+#: (initial disk, initial memory, then the CPU reservation appended by
+#: the cluster). View iteration follows this order so that
+#: ``sum`` loops over ``reported.items()`` accumulate in exactly the
+#: same sequence as over the object path's dicts.
+STORE_METRICS: Tuple[str, ...] = (DISK_GB, MEMORY_GB, CPU_CORES)
+
+_COLUMN_OF: Dict[str, int] = {metric: column
+                              for column, metric in enumerate(STORE_METRICS)}
+
+_MISSING = object()
+
+
+class ReplicaLoadStore:
+    """Shared struct-of-arrays backing for replica reported loads.
+
+    One row per live replica; rows are recycled through a free list
+    when replicas are dropped (LIFO, deterministic). Core metrics live
+    in the float64 block; anything else (tests reporting exotic
+    metrics) spills to a per-row dict — correctness everywhere, the
+    columnar fast path for the three metrics the simulation actually
+    reports.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            capacity = 1
+        self._values = np.zeros((len(STORE_METRICS), capacity),
+                                dtype=np.float64)
+        self._present = np.zeros((len(STORE_METRICS), capacity), dtype=bool)
+        #: Rare non-core metrics, row -> {metric: value}.
+        self._extra: Dict[int, Dict[str, float]] = {}
+        self._free: List[int] = []  # totolint: fleet-scale
+        self._next_row = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return int(self._values.shape[1])
+
+    @property
+    def rows_in_use(self) -> int:
+        return self._next_row - len(self._free)
+
+    def _grow(self) -> None:
+        old = self.capacity
+        grown = np.zeros((len(STORE_METRICS), old * 2), dtype=np.float64)
+        grown[:, :old] = self._values
+        self._values = grown
+        present = np.zeros((len(STORE_METRICS), old * 2), dtype=bool)
+        present[:, :old] = self._present
+        self._present = present
+
+    def allocate(self, loads: Optional[Dict[str, float]] = None
+                 ) -> "ReplicaLoadView":
+        """Claim a row and return its dict-like view.
+
+        ``loads`` seeds the row (insertion order of the mapping is
+        irrelevant — the view iterates in column order regardless).
+        """
+        if self._free:
+            row = self._free.pop()
+        else:
+            if self._next_row >= self.capacity:
+                self._grow()
+            row = self._next_row
+            self._next_row += 1
+        self._values[:, row] = 0.0
+        self._present[:, row] = False
+        view = ReplicaLoadView(self, row)
+        if loads:
+            for metric, value in loads.items():
+                view[metric] = value
+        return view
+
+    def release(self, view: "ReplicaLoadView") -> None:
+        """Return a view's row to the free list.
+
+        The view detaches with a final snapshot of its values, so any
+        stale reference (a dropped replica someone kept) still reads
+        the last reported loads instead of a recycled row.
+        """
+        if not isinstance(view, ReplicaLoadView):
+            return  # object-path dict (e.g. a test-built replica)
+        if view._store is not self or view._detached is not None:
+            return
+        view._detached = dict(view.items())
+        row = view._row
+        view._row = -1
+        self._extra.pop(row, None)
+        self._free.append(row)
+
+    # -- scalar cell access (all reads return built-in floats) ---------
+
+    def get_value(self, row: int, metric: str, default: object) -> object:
+        column = _COLUMN_OF.get(metric)
+        if column is None:
+            extra = self._extra.get(row)
+            if extra is None:
+                return default
+            return extra.get(metric, default)
+        if self._present[column, row]:
+            return self._values.item(column, row)
+        return default
+
+    def set_value(self, row: int, metric: str, value: float) -> None:
+        column = _COLUMN_OF.get(metric)
+        if column is None:
+            extra = self._extra.get(row)
+            if extra is None:
+                extra = {}
+                self._extra[row] = extra
+            extra[metric] = value
+            return
+        self._values[column, row] = value
+        self._present[column, row] = True
+
+    def del_value(self, row: int, metric: str) -> bool:
+        """Remove a metric from a row; True when it was present."""
+        column = _COLUMN_OF.get(metric)
+        if column is None:
+            extra = self._extra.get(row)
+            if extra is None or metric not in extra:
+                return False
+            del extra[metric]
+            return True
+        if not self._present[column, row]:
+            return False
+        self._present[column, row] = False
+        self._values[column, row] = 0.0
+        return True
+
+    def row_items(self, row: int) -> Tuple[List[str], List[float]]:
+        """Present metrics and their values, in column order."""
+        metrics: List[str] = []
+        values: List[float] = []
+        present = self._present[:, row]
+        cells = self._values[:, row]
+        for column, metric in enumerate(STORE_METRICS):
+            if present[column]:
+                metrics.append(metric)
+                values.append(cells.item(column))
+        extra = self._extra.get(row)
+        if extra:
+            metrics.extend(extra.keys())
+            values.extend(extra.values())
+        return metrics, values
+
+
+class ReplicaLoadView(MutableMapping):
+    """Dict-compatible window onto one replica's store row.
+
+    Supports everything the replaced ``Dict[str, float]`` supported:
+    ``get``/``[]``/``in``/``items``/``len``/iteration/equality (the
+    :class:`~collections.abc.Mapping` mixin compares equal to plain
+    dicts with the same contents). After the owning store releases the
+    row, the view keeps serving a frozen snapshot of its final values.
+    """
+
+    __slots__ = ("_store", "_row", "_detached")
+
+    def __init__(self, store: ReplicaLoadStore, row: int) -> None:
+        self._store = store
+        self._row = row
+        self._detached: Optional[Dict[str, float]] = None
+
+    # -- mapping protocol ----------------------------------------------
+
+    def __getitem__(self, metric: str) -> float:
+        if self._detached is not None:
+            return self._detached[metric]
+        value = self._store.get_value(self._row, metric, _MISSING)
+        if value is _MISSING:
+            raise KeyError(metric)
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, metric: str, value: float) -> None:
+        if self._detached is not None:
+            self._detached[metric] = value
+            return
+        self._store.set_value(self._row, metric, value)
+
+    def __delitem__(self, metric: str) -> None:
+        if self._detached is not None:
+            del self._detached[metric]
+            return
+        if not self._store.del_value(self._row, metric):
+            raise KeyError(metric)
+
+    def __iter__(self) -> Iterator[str]:
+        if self._detached is not None:
+            return iter(self._detached)
+        metrics, _ = self._store.row_items(self._row)
+        return iter(metrics)
+
+    def __len__(self) -> int:
+        if self._detached is not None:
+            return len(self._detached)
+        metrics, _ = self._store.row_items(self._row)
+        return len(metrics)
+
+    # -- fast paths (the MutableMapping defaults would hit the store
+    # once per key *and* once per value) -------------------------------
+
+    def get(self, metric: str, default: object = None) -> object:
+        if self._detached is not None:
+            return self._detached.get(metric, default)
+        return self._store.get_value(self._row, metric, default)
+
+    def items(self):  # type: ignore[override]
+        if self._detached is not None:
+            return list(self._detached.items())
+        metrics, values = self._store.row_items(self._row)
+        return list(zip(metrics, values))
+
+    def __contains__(self, metric: object) -> bool:
+        if self._detached is not None:
+            return metric in self._detached
+        if not isinstance(metric, str):
+            return False
+        return self._store.get_value(self._row, metric,
+                                     _MISSING) is not _MISSING
+
+    def __repr__(self) -> str:
+        return repr(dict(self.items()))

@@ -8,7 +8,7 @@ report costs O(metrics), not O(replicas).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set
 
 from repro.errors import FabricError
 from repro.fabric.metrics import ALL_METRICS, NodeCapacities
@@ -22,6 +22,10 @@ class Node:
         self.node_id = node_id
         self.capacities = capacities
         self._replicas: Dict[int, Replica] = {}
+        #: Service ids hosted here. Anti-affinity caps it at one
+        #: replica per service, so a set gives O(1) ``hosts_service``
+        #: — the inner loop of every placement scan at fleet scale.
+        self._service_ids: Set[str] = set()
         self._loads: Dict[str, float] = {metric: 0.0 for metric in ALL_METRICS}
         #: True while the node undergoes a (simulated) maintenance
         #: upgrade; collectors may flag its readings as outliers.
@@ -43,8 +47,7 @@ class Node:
 
     def hosts_service(self, service_id: str) -> bool:
         """True if any replica of ``service_id`` lives here (anti-affinity)."""
-        return any(replica.service_id == service_id
-                   for replica in self._replicas.values())
+        return service_id in self._service_ids
 
     def attach(self, replica: Replica) -> None:
         """Host ``replica`` and add its reported loads to the aggregates."""
@@ -56,6 +59,7 @@ class Node:
                 f"node {self.node_id} already hosts a replica of "
                 f"service {replica.service_id}")
         self._replicas[replica.replica_id] = replica
+        self._service_ids.add(replica.service_id)
         replica.node_id = self.node_id
         for metric, value in replica.reported.items():
             self._loads[metric] = self._loads.get(metric, 0.0) + value
@@ -66,6 +70,7 @@ class Node:
             raise FabricError(
                 f"replica {replica.replica_id} not on node {self.node_id}")
         del self._replicas[replica.replica_id]
+        self._service_ids.discard(replica.service_id)
         replica.node_id = None
         for metric, value in replica.reported.items():
             self._loads[metric] = self._loads.get(metric, 0.0) - value

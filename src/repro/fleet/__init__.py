@@ -1,0 +1,42 @@
+"""The fleet/region scale layer (ROADMAP item 1, docs/FLEET.md).
+
+Scales the single-cluster benchmark to a production-like region:
+:class:`FleetTopology` stamps N clusters from one
+:class:`ClusterTemplate`, :func:`run_fleet` shards them across the
+warm process pool with worker-side reduction to bounded-memory
+:class:`ClusterSummary` values, and the spec-ordered merge plus
+:func:`fleet_digest` keep serial and sharded runs byte-identical.
+"""
+
+from repro.fleet.runner import (
+    FleetResult,
+    fleet_metric_registry,
+    fleet_obs_export,
+    run_fleet,
+)
+from repro.fleet.summary import (
+    ClusterSummary,
+    FleetFrame,
+    FleetKpis,
+    fleet_digest,
+    merge_frames,
+    merge_summaries,
+    summarize_result,
+)
+from repro.fleet.topology import ClusterTemplate, FleetTopology
+
+__all__ = [
+    "ClusterSummary",
+    "ClusterTemplate",
+    "FleetFrame",
+    "FleetKpis",
+    "FleetResult",
+    "FleetTopology",
+    "fleet_digest",
+    "fleet_metric_registry",
+    "fleet_obs_export",
+    "merge_frames",
+    "merge_summaries",
+    "run_fleet",
+    "summarize_result",
+]

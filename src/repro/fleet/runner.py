@@ -1,0 +1,154 @@
+"""Run a fleet topology across the warm process pool and merge it.
+
+One :func:`run_fleet` call is the region-scale analogue of one
+:class:`~repro.core.runner.BenchmarkRunner` run: clusters fan out over
+the :class:`~repro.parallel.executor.SweepExecutor` (inheriting its
+document dedup, warm-pool reuse, and broken-pool serial-finish
+fallback), each worker reduces its cluster to a
+:class:`~repro.fleet.summary.ClusterSummary` before anything crosses
+the pickle boundary, and the parent folds the spec-ordered summary
+list into :class:`~repro.fleet.summary.FleetKpis` plus a pinnable
+content digest. Serial and sharded runs of the same topology are
+byte-identical (tests/test_fleet_merge.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fleet.summary import (
+    ClusterSummary,
+    FleetFrame,
+    FleetKpis,
+    fleet_digest,
+    merge_frames,
+    merge_summaries,
+    summarize_result,
+)
+from repro.fleet.topology import FleetTopology
+from repro.obs.export import ObsExport
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sink import ListSink
+from repro.parallel.executor import ProgressCallback, SweepExecutor
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """The merged outcome of one fleet run."""
+
+    topology: FleetTopology
+    summaries: Tuple[ClusterSummary, ...]
+    frames: Tuple[FleetFrame, ...]
+    kpis: FleetKpis
+    #: Canonical content hash of ``summaries`` — the value the
+    #: serial-vs-sharded identity tests and the BENCH gate compare.
+    digest: str
+    #: How the sweep actually executed ("serial" | "parallel").
+    mode: str
+
+
+def run_fleet(topology: FleetTopology,
+              max_workers: Optional[int] = None,
+              progress: Optional[ProgressCallback] = None) -> FleetResult:
+    """Execute every cluster of ``topology`` and merge deterministically.
+
+    ``max_workers=1`` forces the serial path; anything else shards the
+    clusters across the process pool. Either way the summary list is
+    spec-ordered and the merge is byte-identical.
+    """
+    scenarios = topology.scenarios()
+    executor = SweepExecutor(max_workers=max_workers, progress=progress,
+                             reducer=summarize_result)
+    try:
+        summaries = tuple(  # totolint: fleet-scale
+            executor.run(scenarios))
+        mode = executor.last_mode or "serial"
+    finally:
+        executor.shutdown()
+    return FleetResult(
+        topology=topology,
+        summaries=summaries,
+        frames=tuple(merge_frames(summaries)),
+        kpis=merge_summaries(summaries),
+        digest=fleet_digest(summaries),
+        mode=mode,
+    )
+
+
+def fleet_metric_registry(kpis: FleetKpis) -> MetricRegistry:
+    """Region-level metric catalogue over merged fleet KPIs."""
+    registry = MetricRegistry()
+    gauges = (
+        ("toto_fleet_clusters", "Clusters in the fleet topology.",
+         float(kpis.clusters)),
+        ("toto_fleet_nodes", "Data-plane nodes across all clusters.",
+         float(kpis.nodes)),
+        ("toto_fleet_reserved_cores",
+         "Reserved CPU cores across the region at run end.",
+         kpis.reserved_cores),
+        ("toto_fleet_disk_usage_gb",
+         "Disk usage across the region at run end (GB).",
+         kpis.disk_gb),
+        ("toto_fleet_active_databases",
+         "Databases still active across the region at run end.",
+         float(kpis.active_databases)),
+        ("toto_fleet_adjusted_revenue",
+         "Region adjusted revenue (gross minus SLA penalties).",
+         kpis.revenue_adjusted),
+    )
+    for name, help_text, value in gauges:
+        registry.gauge(name, help_text,
+                       lambda value=value: value)
+    counters = (
+        ("toto_fleet_databases_created_total",
+         "Databases created across the region (incl. bootstrap).",
+         float(kpis.databases_created)),
+        ("toto_fleet_redirects_total",
+         "Creation redirects across the region.",
+         float(kpis.creation_redirects)),
+        ("toto_fleet_capacity_failovers_total",
+         "Capacity failovers across the region.",
+         float(kpis.failover_count)),
+        ("toto_fleet_faults_injected_total",
+         "Chaos faults injected across the region (0 without chaos).",
+         float(kpis.faults_injected)),
+        ("toto_fleet_events_executed_total",
+         "Simulation kernel events executed across all clusters.",
+         float(kpis.events_executed)),
+    )
+    for name, help_text, value in counters:
+        registry.counter(name, help_text,
+                         lambda value=value: value)
+    return registry
+
+
+def fleet_obs_export(result: FleetResult) -> ObsExport:
+    """Render the fleet run's observability artifacts (strings only).
+
+    ``metrics.jsonl`` carries one sample per merged fleet hour — the
+    region-wide resource series — and ``metrics.prom`` the final
+    region KPIs; both use the standard obs-layer sinks and naming, so
+    downstream tooling cannot tell a fleet export from a cluster one.
+    """
+    sink = ListSink()
+    for frame in result.frames:
+        sink.emit({
+            "type": "sample",
+            "hour": frame.hour_index,
+            "time": frame.hour_index * HOUR,
+            "metrics": {
+                "toto_fleet_reserved_cores": frame.reserved_cores,
+                "toto_fleet_disk_usage_gb": frame.disk_gb,
+                "toto_fleet_active_databases":
+                    float(frame.active_databases),
+                "toto_fleet_redirects_total":
+                    float(frame.redirects_cumulative),
+                "toto_fleet_capacity_failovers_total":
+                    float(frame.failover_count_cumulative),
+            },
+        })
+    registry = fleet_metric_registry(result.kpis)
+    return ObsExport(metrics_jsonl=sink.render(),
+                     metrics_prom=registry.to_prometheus())

@@ -74,6 +74,16 @@ class SweepProgress:
 
 ProgressCallback = Callable[[SweepProgress], None]
 
+#: Worker-side result reduction: applied to each
+#: :class:`BenchmarkResult` *inside the worker process*, so only the
+#: (typically small) reduced value crosses the pickle boundary. The
+#: fleet layer uses this to keep a 100-cluster sweep's parent memory
+#: bounded by per-cluster summaries instead of full frame sets. Must be
+#: a module-level function (it is pickled to the workers); the serial
+#: path applies the same reducer before its normalizing round trip, so
+#: serial and pooled sweeps stay byte-identical.
+Reducer = Callable[[BenchmarkResult], Any]
+
 #: One task as shipped to a worker: (input index, scenario with its
 #: model document stripped, fingerprint of that document or None).
 _Task = Tuple[int, BenchmarkScenario, Optional[str]]
@@ -95,14 +105,18 @@ def _execute(scenario: BenchmarkScenario) -> BenchmarkResult:
     return run_scenario(scenario)
 
 
-def _execute_chunk(tasks: List[_Task]) -> List[Tuple[int, BenchmarkResult]]:
+def _execute_chunk(tasks: List[_Task],
+                   reducer: Optional[Reducer] = None
+                   ) -> List[Tuple[int, Any]]:
     """Worker entry point: run a chunk of document-stripped scenarios."""
-    out: List[Tuple[int, BenchmarkResult]] = []
+    out: List[Tuple[int, Any]] = []
     for index, scenario, doc_key in tasks:
         if doc_key is not None:
             scenario = replace(scenario,
                                model_document=_WORKER_DOCS[doc_key])
-        out.append((index, run_scenario(scenario)))
+        result = run_scenario(scenario)
+        out.append((index,
+                    reducer(result) if reducer is not None else result))
     return out
 
 
@@ -113,6 +127,10 @@ class SweepExecutor:
         max_workers: process count. ``None`` picks ``os.cpu_count()``
             (capped at the sweep size); ``1`` forces the serial path.
         progress: optional callback invoked after every completed run.
+        reducer: optional module-level function applied to every
+            :class:`BenchmarkResult` before it leaves the worker (or,
+            serially, before the normalizing round trip). With a
+            reducer installed :meth:`run` returns the reduced values.
     """
 
     #: Target chunks per worker: more than one so uneven scenario
@@ -120,11 +138,13 @@ class SweepExecutor:
     CHUNKS_PER_WORKER = 4
 
     def __init__(self, max_workers: Optional[int] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 reducer: Optional[Reducer] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self.progress = progress
+        self.reducer = reducer
         #: How the last sweep actually executed ("serial" | "parallel");
         #: lets tests and callers observe fallback decisions.
         self.last_mode: Optional[str] = None
@@ -139,9 +159,12 @@ class SweepExecutor:
 
     # ------------------------------------------------------------------
 
-    def run(self, scenarios: Sequence[BenchmarkScenario]
-            ) -> List[BenchmarkResult]:
-        """Execute every scenario; results are index-aligned with input."""
+    def run(self, scenarios: Sequence[BenchmarkScenario]) -> List[Any]:
+        """Execute every scenario; results are index-aligned with input.
+
+        Without a reducer each entry is a full
+        :class:`BenchmarkResult`; with one, its reduced value.
+        """
         scenarios = list(scenarios)
         if not scenarios:
             self.last_mode = "serial"
@@ -150,7 +173,7 @@ class SweepExecutor:
         if workers <= 1:
             return self._run_serial(scenarios)
         prepared = self._prepare(scenarios)
-        if prepared is None:
+        if prepared is None or not self._reducer_picklable():
             return self._run_serial(scenarios)
         return self._run_parallel(scenarios, workers, *prepared)
 
@@ -211,8 +234,20 @@ class SweepExecutor:
             return None
         return tasks, doc_blobs
 
+    def _reducer_picklable(self) -> bool:
+        """Probe the reducer's round trip (it ships with every chunk)."""
+        if self.reducer is None:
+            return True
+        try:
+            pickle.loads(pickle.dumps(self.reducer,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+        except (pickle.PickleError, TypeError, AttributeError,
+                NotImplementedError, ValueError, EOFError, RecursionError):
+            return False
+        return True
+
     @staticmethod
-    def _normalize(result: BenchmarkResult) -> BenchmarkResult:
+    def _normalize(result: Any) -> Any:
         """Mirror the pool's pickle round trip on the serial path.
 
         Worker results cross a process boundary, which replaces any
@@ -240,16 +275,20 @@ class SweepExecutor:
     # ------------------------------------------------------------------
 
     def _run_serial(self, scenarios: List[BenchmarkScenario],
-                    into: Optional[Dict[int, BenchmarkResult]] = None
-                    ) -> List[BenchmarkResult]:
+                    into: Optional[Dict[int, Any]] = None
+                    ) -> List[Any]:
         """The plain loop; also finishes partially-parallel sweeps."""
         self.last_mode = "serial"
-        results: Dict[int, BenchmarkResult] = into if into is not None else {}
+        results: Dict[int, Any] = into if into is not None else {}
         total = len(scenarios)
+        reducer = self.reducer
         for index, scenario in enumerate(scenarios):
             if index in results:
                 continue
-            results[index] = self._normalize(_execute(scenario))
+            value: Any = _execute(scenario)
+            if reducer is not None:
+                value = reducer(value)
+            results[index] = self._normalize(value)
             self._report(len(results), total, scenario.name, parallel=False)
         return [results[index] for index in range(total)]
 
@@ -281,17 +320,17 @@ class SweepExecutor:
 
     def _run_parallel(self, scenarios: List[BenchmarkScenario],
                       workers: int, tasks: List[_Task],
-                      doc_blobs: Dict[str, bytes]) -> List[BenchmarkResult]:
+                      doc_blobs: Dict[str, bytes]) -> List[Any]:
         total = len(scenarios)
-        results: Dict[int, BenchmarkResult] = {}
+        results: Dict[int, Any] = {}
         pool = self._pool_for(workers, doc_blobs)
         if pool is None:
             return self._run_serial(scenarios)
         n_chunks = min(total, workers * self.CHUNKS_PER_WORKER)
         chunks = [tasks[start::n_chunks] for start in range(n_chunks)]
         try:
-            futures = {pool.submit(_execute_chunk, chunk): chunk
-                       for chunk in chunks}
+            futures = {pool.submit(_execute_chunk, chunk, self.reducer):
+                       chunk for chunk in chunks}
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)

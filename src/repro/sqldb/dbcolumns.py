@@ -1,0 +1,278 @@
+"""Columnar (struct-of-arrays) storage for database lifecycle state.
+
+The control-plane half of the fleet-scale refactor (ROADMAP item 1,
+see :mod:`repro.fabric.colstore` for the replica half and the shared
+byte-identity contract). Every :class:`~repro.sqldb.database.DatabaseInstance`
+the control plane creates stores its numeric/flag lifecycle state —
+timestamps, downtime, growth parameters — as one row across the numpy
+columns of a shared :class:`DatabaseStateColumns`, instead of as eight
+Python attribute slots with boxed values per database. A million-row
+store costs ~50 MB of columns; a million dataclass instances cost an
+order of magnitude more.
+
+The object-graph path (:class:`ObjectDatabaseState`) remains both the
+backing for standalone, test-constructed instances and the A/B
+fallback selected by ``TOTO_OBJECT_STATE=1`` /
+:data:`repro.fabric.colstore.COLUMNAR_STATE`. Both backings expose the
+same scalar accessor surface and return only built-in Python scalars,
+so every derived number — KPIs, revenue, pickled results — is
+bit-identical between the two (pinned by tests/test_fleet_scale.py).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fabric import colstore
+
+#: ``dropped_at`` sentinel for "still active" (timestamps are >= 0).
+_NEVER = -1
+
+_FLAG_HIGH_INITIAL_GROWTH = 1
+_FLAG_RAPID_GROWTH = 2
+_FLAG_FROM_BOOTSTRAP = 4
+
+
+def columnar_enabled() -> bool:
+    """Single switch for both columnar stores (fabric + sqldb)."""
+    return colstore.columnar_enabled()
+
+
+class DatabaseStateColumns:
+    """Shared struct-of-arrays backing for database lifecycle state.
+
+    Rows are append-only: the control plane keeps every database ever
+    created (dropped ones feed the revenue/SLA accounting), so rows are
+    never recycled and ``allocate`` is a bump pointer with amortized
+    doubling growth.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            capacity = 1
+        self._created_at = np.zeros(capacity, dtype=np.int64)
+        self._dropped_at = np.full(capacity, _NEVER, dtype=np.int64)
+        self._downtime_seconds = np.zeros(capacity, dtype=np.float64)
+        self._failover_count = np.zeros(capacity, dtype=np.int64)
+        self._initial_data_gb = np.zeros(capacity, dtype=np.float64)
+        self._growth_total_gb = np.zeros(capacity, dtype=np.float64)
+        self._flags = np.zeros(capacity, dtype=np.uint8)
+        self._rows = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return int(self._created_at.shape[0])
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+
+        def grown(array: np.ndarray, fill: object = 0) -> np.ndarray:
+            out = np.full(new, fill, dtype=array.dtype)
+            out[:old] = array
+            return out
+
+        self._created_at = grown(self._created_at)
+        self._dropped_at = grown(self._dropped_at, _NEVER)
+        self._downtime_seconds = grown(self._downtime_seconds)
+        self._failover_count = grown(self._failover_count)
+        self._initial_data_gb = grown(self._initial_data_gb)
+        self._growth_total_gb = grown(self._growth_total_gb)
+        self._flags = grown(self._flags)
+
+    def allocate(self) -> int:
+        if self._rows >= self.capacity:
+            self._grow()
+        row = self._rows
+        self._rows += 1
+        return row
+
+    def init_row(self, row: int, created_at: int, initial_data_gb: float,
+                 dropped_at: Optional[int], downtime_seconds: float,
+                 failover_count: int, high_initial_growth: bool,
+                 initial_growth_total_gb: float, rapid_growth: bool,
+                 from_bootstrap: bool) -> None:
+        self._created_at[row] = created_at
+        self._dropped_at[row] = _NEVER if dropped_at is None else dropped_at
+        self._downtime_seconds[row] = downtime_seconds
+        self._failover_count[row] = failover_count
+        self._initial_data_gb[row] = initial_data_gb
+        self._growth_total_gb[row] = initial_growth_total_gb
+        flags = 0
+        if high_initial_growth:
+            flags |= _FLAG_HIGH_INITIAL_GROWTH
+        if rapid_growth:
+            flags |= _FLAG_RAPID_GROWTH
+        if from_bootstrap:
+            flags |= _FLAG_FROM_BOOTSTRAP
+        self._flags[row] = flags
+
+    # -- scalar accessors (reads return built-in Python scalars) -------
+
+    def created_at(self, row: int) -> int:
+        return int(self._created_at[row])
+
+    def set_created_at(self, row: int, value: int) -> None:
+        self._created_at[row] = value
+
+    def dropped_at(self, row: int) -> Optional[int]:
+        value = int(self._dropped_at[row])
+        return None if value == _NEVER else value
+
+    def set_dropped_at(self, row: int, value: Optional[int]) -> None:
+        self._dropped_at[row] = _NEVER if value is None else value
+
+    def downtime_seconds(self, row: int) -> float:
+        return float(self._downtime_seconds[row])
+
+    def set_downtime_seconds(self, row: int, value: float) -> None:
+        self._downtime_seconds[row] = value
+
+    def failover_count(self, row: int) -> int:
+        return int(self._failover_count[row])
+
+    def set_failover_count(self, row: int, value: int) -> None:
+        self._failover_count[row] = value
+
+    def initial_data_gb(self, row: int) -> float:
+        return float(self._initial_data_gb[row])
+
+    def set_initial_data_gb(self, row: int, value: float) -> None:
+        self._initial_data_gb[row] = value
+
+    def initial_growth_total_gb(self, row: int) -> float:
+        return float(self._growth_total_gb[row])
+
+    def set_initial_growth_total_gb(self, row: int, value: float) -> None:
+        self._growth_total_gb[row] = value
+
+    def _flag(self, row: int, mask: int) -> bool:
+        return bool(self._flags[row] & mask)
+
+    def _set_flag(self, row: int, mask: int, value: bool) -> None:
+        if value:
+            self._flags[row] |= mask
+        else:
+            self._flags[row] &= ~mask & 0xFF
+
+    def high_initial_growth(self, row: int) -> bool:
+        return self._flag(row, _FLAG_HIGH_INITIAL_GROWTH)
+
+    def set_high_initial_growth(self, row: int, value: bool) -> None:
+        self._set_flag(row, _FLAG_HIGH_INITIAL_GROWTH, value)
+
+    def rapid_growth(self, row: int) -> bool:
+        return self._flag(row, _FLAG_RAPID_GROWTH)
+
+    def set_rapid_growth(self, row: int, value: bool) -> None:
+        self._set_flag(row, _FLAG_RAPID_GROWTH, value)
+
+    def from_bootstrap(self, row: int) -> bool:
+        return self._flag(row, _FLAG_FROM_BOOTSTRAP)
+
+    def set_from_bootstrap(self, row: int, value: bool) -> None:
+        self._set_flag(row, _FLAG_FROM_BOOTSTRAP, value)
+
+    # -- vectorized aggregate views ------------------------------------
+
+    def active_count(self) -> int:
+        """Databases never dropped (one vectorized scan, no object walk)."""
+        return int(np.count_nonzero(
+            self._dropped_at[:self._rows] == _NEVER))
+
+    def total_failovers(self) -> int:
+        return int(self._failover_count[:self._rows].sum())
+
+
+class ObjectDatabaseState:
+    """The object-graph backing: plain Python attributes, one per field.
+
+    Used for standalone (test-constructed and unpickled) instances and
+    for every instance when ``TOTO_OBJECT_STATE`` selects the fallback
+    path. Interface-compatible with :class:`DatabaseStateColumns`; the
+    ``row`` argument is ignored.
+    """
+
+    __slots__ = ("_created_at", "_dropped_at", "_downtime_seconds",
+                 "_failover_count", "_initial_data_gb", "_growth_total_gb",
+                 "_high_initial_growth", "_rapid_growth", "_from_bootstrap")
+
+    def allocate(self) -> int:
+        return 0
+
+    def init_row(self, row: int, created_at: int, initial_data_gb: float,
+                 dropped_at: Optional[int], downtime_seconds: float,
+                 failover_count: int, high_initial_growth: bool,
+                 initial_growth_total_gb: float, rapid_growth: bool,
+                 from_bootstrap: bool) -> None:
+        self._created_at = created_at
+        self._dropped_at = dropped_at
+        self._downtime_seconds = downtime_seconds
+        self._failover_count = failover_count
+        self._initial_data_gb = initial_data_gb
+        self._growth_total_gb = initial_growth_total_gb
+        self._high_initial_growth = high_initial_growth
+        self._rapid_growth = rapid_growth
+        self._from_bootstrap = from_bootstrap
+
+    def created_at(self, row: int) -> int:
+        return self._created_at
+
+    def set_created_at(self, row: int, value: int) -> None:
+        self._created_at = value
+
+    def dropped_at(self, row: int) -> Optional[int]:
+        return self._dropped_at
+
+    def set_dropped_at(self, row: int, value: Optional[int]) -> None:
+        self._dropped_at = value
+
+    def downtime_seconds(self, row: int) -> float:
+        return self._downtime_seconds
+
+    def set_downtime_seconds(self, row: int, value: float) -> None:
+        self._downtime_seconds = value
+
+    def failover_count(self, row: int) -> int:
+        return self._failover_count
+
+    def set_failover_count(self, row: int, value: int) -> None:
+        self._failover_count = value
+
+    def initial_data_gb(self, row: int) -> float:
+        return self._initial_data_gb
+
+    def set_initial_data_gb(self, row: int, value: float) -> None:
+        self._initial_data_gb = value
+
+    def initial_growth_total_gb(self, row: int) -> float:
+        return self._growth_total_gb
+
+    def set_initial_growth_total_gb(self, row: int, value: float) -> None:
+        self._growth_total_gb = value
+
+    def high_initial_growth(self, row: int) -> bool:
+        return self._high_initial_growth
+
+    def set_high_initial_growth(self, row: int, value: bool) -> None:
+        self._high_initial_growth = value
+
+    def rapid_growth(self, row: int) -> bool:
+        return self._rapid_growth
+
+    def set_rapid_growth(self, row: int, value: bool) -> None:
+        self._rapid_growth = value
+
+    def from_bootstrap(self, row: int) -> bool:
+        return self._from_bootstrap
+
+    def set_from_bootstrap(self, row: int, value: bool) -> None:
+        self._from_bootstrap = value

@@ -24,7 +24,7 @@ Persistence semantics (§3.3.2) are implemented exactly as described:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -75,9 +75,13 @@ class RgManager:
         #: means Toto is not injected and actual loads pass through.
         self.model_set: Optional[TotoModelSet] = None
         #: Node-local previous values for non-persisted metrics,
-        #: keyed by (replica_id, metric). Lost when a replica moves to
-        #: a different node — which is the intended reset semantics.
-        self._memory: Dict[tuple, float] = {}
+        #: keyed metric -> replica id -> value. Lost when a replica
+        #: moves to a different node — the intended reset semantics.
+        #: Two-level (rather than tuple-keyed) so dropping a replica
+        #: touches a handful of small maps instead of scanning every
+        #: key, and the hot report loop pays one lookup per metric,
+        #: not one tuple allocation per value.
+        self._memory: Dict[str, Dict[int, float]] = {}
         #: Version of the model XML this instance last parsed.
         self.model_version = 0
         self.rpcs_served = 0
@@ -115,11 +119,18 @@ class RgManager:
 
     def forget_replica(self, replica_id: int) -> None:
         """Drop node-local state for a replica that left this node."""
-        stale = [key for key in self._memory if key[0] == replica_id]
-        for key in stale:
-            del self._memory[key]
+        for per_metric in self._memory.values():
+            per_metric.pop(replica_id, None)
         self._cpu_usage_raw.pop(replica_id, None)
         self.cpu_usage_governed.pop(replica_id, None)
+
+    def _metric_memory(self, metric: str) -> Dict[int, float]:
+        """The per-replica memory map of one metric (created lazily)."""
+        per_metric = self._memory.get(metric)
+        if per_metric is None:
+            per_metric = {}
+            self._memory[metric] = per_metric
+        return per_metric
 
     def _stream(self, metric: str) -> np.random.Generator:
         stream = self._streams.get(metric)
@@ -163,13 +174,15 @@ class RgManager:
         return loads
 
     def observe_cpu_usage_batch(
-            self, entries: Sequence[Tuple[Replica, DatabaseInstance]],
+            self, replicas: Sequence[Replica],
+            databases: Sequence[DatabaseInstance],
             now: int, interval_seconds: int) -> None:
         """Vectorized advisory CPU sampling for one sweep (§3.2).
 
-        ``entries`` is every (replica, database) that reported from this
-        node this sweep, in report order. All replicas draw from the
-        same per-node CPU substream, so the whole sweep's utilization
+        ``replicas``/``databases`` are parallel sequences — every
+        (replica, database) pair that reported from this node this
+        sweep, in report order. All replicas draw from the same
+        per-node CPU substream, so the whole sweep's utilization
         draws collapse into one masked array-parameter normal call —
         draw-for-draw identical to the scalar per-RPC path because the
         per-entry (mu, sigma) sequence and the stream order are both
@@ -179,31 +192,40 @@ class RgManager:
         """
         if self.model_set is None:
             return
-        batchable: List[Tuple[Replica, DatabaseInstance, object]] = []
+        batch_replicas: List[Replica] = []
+        batch_databases: List[DatabaseInstance] = []
+        batch_models: List[object] = []
         mus: List[float] = []
         sigmas: List[float] = []
+        cpu_memory = self._metric_memory(CPU_USED_CORES)
+        usage_raw = self._cpu_usage_raw
 
         def flush() -> None:
-            if not batchable:
+            if not batch_models:
                 return
             draws = BatchedStream(self._stream(CPU_USED_CORES)).normals(
                 mus, sigmas)
-            for (replica, database, model), draw in zip(batchable, draws):
+            for replica, database, model, draw in zip(
+                    batch_replicas, batch_databases, batch_models, draws):
                 value = model.value_from_utilization(
                     float(draw), replica.is_primary, database)
-                self._memory[(replica.replica_id, CPU_USED_CORES)] = value
-                self._cpu_usage_raw[replica.replica_id] = value
-            batchable.clear()
+                cpu_memory[replica.replica_id] = value
+                usage_raw[replica.replica_id] = value
+            batch_replicas.clear()
+            batch_databases.clear()
+            batch_models.clear()
             mus.clear()
             sigmas.clear()
 
-        for replica, database in entries:
+        for replica, database in zip(replicas, databases):
             model = self.model_set.find(CPU_USED_CORES, database)
             if model is None:
                 continue
             if hasattr(model, "utilization_params"):
                 mu, sigma = model.utilization_params(now)
-                batchable.append((replica, database, model))
+                batch_replicas.append(replica)
+                batch_databases.append(database)
+                batch_models.append(model)
                 mus.append(mu)
                 sigmas.append(sigma)
             else:
@@ -262,12 +284,12 @@ class RgManager:
                       database: DatabaseInstance, now: int,
                       interval_seconds: int, metric: str) -> float:
         """Non-persisted path: previous value lives in node memory."""
-        key = (replica.replica_id, metric)
-        previous = self._memory.get(key)
+        memory = self._metric_memory(metric)
+        previous = memory.get(replica.replica_id)
         context = self._context(replica, database, now, interval_seconds,
                                 previous, metric)
         value = model.next_value(context)
-        self._memory[key] = value
+        memory[replica.replica_id] = value
         return value
 
     def _persisted_value(self, model: ResourceModel, replica: Replica,
@@ -286,16 +308,15 @@ class RgManager:
         reporting — losing durability for the window, never the run.
         """
         key = persisted_load_key(database.db_id, metric)
-        mirror_key = (replica.replica_id, _MIRROR_PREFIX + metric)
         try:
             previous = self.naming.get_or_default(key)
         except NamingUnavailableError:
             self.naming_degraded += 1
             return self._degraded_persisted_value(
-                model, replica, database, now, interval_seconds, metric,
-                mirror_key)
+                model, replica, database, now, interval_seconds, metric)
         context = self._context(replica, database, now, interval_seconds,
                                 previous, metric)
+        mirror = self._metric_memory(_MIRROR_PREFIX + metric)
         if replica.is_primary:
             value = model.next_value(context)
             try:
@@ -304,28 +325,29 @@ class RgManager:
                 # Outage began between the read and the write-back; the
                 # value still stands, it is just not durable yet.
                 self.naming_degraded += 1
-            self._memory[mirror_key] = value
+            mirror[replica.replica_id] = value
             return value
         if previous is None:
             # No primary has reported yet (e.g. secondary reports first
             # in the very first round): fall back to the model's initial
             # value without persisting it — the primary owns the write.
             return model.initial_value(context)
-        self._memory[mirror_key] = float(previous)
+        mirror[replica.replica_id] = float(previous)
         return float(previous)
 
     def _degraded_persisted_value(self, model: ResourceModel,
                                   replica: Replica,
                                   database: DatabaseInstance, now: int,
-                                  interval_seconds: int, metric: str,
-                                  mirror_key: tuple) -> float:
+                                  interval_seconds: int,
+                                  metric: str) -> float:
         """Persisted path while the metastore is unreachable."""
-        previous = self._memory.get(mirror_key)
+        mirror = self._metric_memory(_MIRROR_PREFIX + metric)
+        previous = mirror.get(replica.replica_id)
         context = self._context(replica, database, now, interval_seconds,
                                 previous, metric)
         if replica.is_primary:
             value = model.next_value(context)
-            self._memory[mirror_key] = value
+            mirror[replica.replica_id] = value
             return value
         if previous is None:
             return model.initial_value(context)

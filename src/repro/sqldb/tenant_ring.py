@@ -148,8 +148,8 @@ class TenantRing:
         # vectorized draw per node instead of one scalar numpy call per
         # replica. Per-node report order is preserved, so the draw
         # sequence (and thus the run) is byte-identical.
-        cpu_entries: Dict[int, List[Tuple[Replica, DatabaseInstance]]] = \
-            defaultdict(list)
+        cpu_replicas: Dict[int, List[Replica]] = defaultdict(list)
+        cpu_databases: Dict[int, List[DatabaseInstance]] = defaultdict(list)
         for record in self.cluster.services():
             database = self.control_plane.database(record.service_id)
             # Primary reports first so persisted metrics are fresh when
@@ -169,10 +169,11 @@ class TenantRing:
                 loads = rgmanager.get_metric_loads(
                     replica, database, now, interval, observe_cpu=False)
                 self.cluster.report_load(replica, loads)
-                cpu_entries[node_id].append((replica, database))
-        for node_id, entries in cpu_entries.items():
+                cpu_replicas[node_id].append(replica)
+                cpu_databases[node_id].append(database)
+        for node_id, node_replicas in cpu_replicas.items():
             self.rgmanagers[node_id].observe_cpu_usage_batch(
-                entries, now, interval)
+                node_replicas, cpu_databases[node_id], now, interval)
         self.cluster.sweep_violations(now)
         for rgmanager in self.rgmanagers:
             rgmanager.apply_cpu_governance(interval)

@@ -17,6 +17,7 @@ DESIGN = (REPO / "DESIGN.md").read_text()
 EXPERIMENTS = (REPO / "EXPERIMENTS.md").read_text()
 CHAOS_DOC = (REPO / "docs" / "CHAOS.md").read_text()
 OBS_DOC = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+FLEET_DOC = (REPO / "docs" / "FLEET.md").read_text()
 
 
 class TestExamples:
@@ -191,6 +192,44 @@ class TestObsDoc:
         for label in _re.findall(r'_mark\(f?"([a-z-]+)', injector_source):
             assert label in OBS_DOC, \
                 f"docs/OBSERVABILITY.md misses chaos mark label {label}"
+
+
+class TestFleetDoc:
+    def test_readme_and_experiments_cover_fleet(self):
+        assert "docs/FLEET.md" in README
+        assert "FleetDensityStudy" in README
+        assert "docs/FLEET.md" in EXPERIMENTS
+        assert "FleetDensityStudy" in EXPERIMENTS
+
+    def test_fleet_api_names_documented(self):
+        for name in ("FleetTopology", "ClusterTemplate", "run_fleet",
+                     "ClusterSummary", "fleet_digest", "SweepExecutor"):
+            assert name in FLEET_DOC, \
+                f"docs/FLEET.md does not mention {name}"
+
+    def test_fleet_marker_documented(self):
+        assert "-m fleet" in FLEET_DOC
+        assert "-m fleet" in README
+
+    def test_fleet_metric_names_match_code(self):
+        runner_source = (REPO / "src" / "repro" / "fleet"
+                         / "runner.py").read_text()
+        names = set(re.findall(r'"(toto_fleet_\w+)"', runner_source))
+        assert names, "expected toto_fleet_* metrics in fleet/runner.py"
+        for name in sorted(names):
+            assert f"`{name}`" in FLEET_DOC, \
+                f"docs/FLEET.md does not document metric {name}"
+
+    def test_columnar_escape_hatch_documented(self):
+        assert "TOTO_OBJECT_STATE" in FLEET_DOC
+        assert "TOTO_OBJECT_STATE" in README
+
+    def test_template_fields_documented(self):
+        import dataclasses
+        from repro.fleet import ClusterTemplate
+        for field in dataclasses.fields(ClusterTemplate):
+            assert f"`{field.name}`" in FLEET_DOC, \
+                f"docs/FLEET.md table misses template field {field.name}"
 
 
 class TestDesignIndex:

@@ -1,0 +1,99 @@
+"""Regression tests for the BENCH_perf.json ``--check`` gates.
+
+The gates run on shared 1-core CI runners, so every timing-derived
+gate must know when its number is noise: the sweep wall ratio means
+nothing with fewer cores than workers (satellite fix: it used to flag
+a ~1.0x ratio on 1-core machines as a parallelism regression), while
+the fleet digest gate is deliberately machine-independent and must
+fire on any drift.
+"""
+
+import json
+
+from benchmarks.emit_bench import check_fleet_gate, run_checks
+from repro.fleet import ClusterTemplate, FleetTopology, run_fleet
+
+
+def committed_record(tmp_path, **overrides):
+    """A minimal committed BENCH_perf.json that skips the slow gates.
+
+    The kernel gate is skipped by recording an impossible cpu_count,
+    the lint gate by omitting ``lint.cold_seconds``, and the fleet
+    gate by omitting the row — each test then overrides the one block
+    it exercises.
+    """
+    payload = {
+        "machine": {"cpu_count": -1},
+        "sweep": {"results_identical": True, "workers": 4,
+                  "effective_cores": 4, "speedup": 1.8,
+                  "measured_ratio": 1.8},
+    }
+    payload.update(overrides)
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestSweepRatioGate:
+    def test_cpu_bound_record_skips_the_ratio_gate(self, tmp_path, capsys):
+        """A ~1.0x wall ratio on a 1-core machine is not a regression."""
+        path = committed_record(tmp_path, sweep={
+            "results_identical": True, "workers": 4,
+            "effective_cores": 1, "speedup": None,
+            "speedup_note": "cpu-bound: 1 core(s) < 4 workers",
+            "measured_ratio": 0.97})
+        assert run_checks(path, kernel_events=1) == 0
+        assert "sweep ratio gate SKIPPED" in capsys.readouterr().out
+
+    def test_slow_parallel_on_capable_machine_fails(self, tmp_path, capsys):
+        path = committed_record(tmp_path, sweep={
+            "results_identical": True, "workers": 4,
+            "effective_cores": 8, "speedup": 0.7,
+            "measured_ratio": 0.7})
+        assert run_checks(path, kernel_events=1) == 1
+        assert "speedup 0.7 < 1.0" in capsys.readouterr().out
+
+    def test_healthy_speedup_passes(self, tmp_path, capsys):
+        path = committed_record(tmp_path)
+        assert run_checks(path, kernel_events=1) == 0
+        assert "sweep ratio: OK" in capsys.readouterr().out
+
+    def test_nonidentical_results_still_fail_even_cpu_bound(self, tmp_path):
+        """The byte-identity gate never has a noise excuse."""
+        path = committed_record(tmp_path, sweep={
+            "results_identical": False, "workers": 4,
+            "effective_cores": 1, "speedup": None})
+        assert run_checks(path, kernel_events=1) == 1
+
+
+class TestFleetGate:
+    CONFIG = {"clusters": 1, "node_count": 4, "days": 0.05}
+
+    def digest_of(self):
+        topology = FleetTopology(
+            cluster_count=self.CONFIG["clusters"], prefix="bench",
+            template=ClusterTemplate(node_count=self.CONFIG["node_count"],
+                                     days=self.CONFIG["days"]))
+        return run_fleet(topology, max_workers=1).digest
+
+    def test_missing_row_is_skipped(self, capsys):
+        assert check_fleet_gate(None) == 0
+        assert "no fleet row" in capsys.readouterr().out
+
+    def test_recorded_mode_divergence_fails_without_replay(self, capsys):
+        fleet = dict(self.CONFIG, digest="irrelevant",
+                     digests_identical=False)
+        assert check_fleet_gate(fleet) == 1
+        assert "serial != sharded" in capsys.readouterr().out
+
+    def test_digest_replay_matches(self, capsys):
+        fleet = dict(self.CONFIG, digest=self.digest_of(),
+                     digests_identical=True)
+        assert check_fleet_gate(fleet) == 0
+        assert "-> OK" in capsys.readouterr().out
+
+    def test_digest_drift_fails(self, capsys):
+        fleet = dict(self.CONFIG, digest="0" * 64,
+                     digests_identical=True)
+        assert check_fleet_gate(fleet) == 1
+        assert "REGRESSION" in capsys.readouterr().out
