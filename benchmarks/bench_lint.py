@@ -77,6 +77,19 @@ def bench_totoperf(repeats: int = 3) -> dict:
     return _bench_rules(repeats, rules=get_rules(PERF_TIER))
 
 
+def bench_totonum(repeats: int = 3) -> dict:
+    """The numeric tier (TL030..TL034) alone, cold vs. cached.
+
+    The numeric rules reuse the same cached extracts (merge registry,
+    canonical sinks, numeric intervals) as the other tiers; this row
+    keeps the tier's marginal cost visible in BENCH_perf.json.
+    """
+    from repro.analysis.numeric_rules import NUMERIC_TIER
+    from repro.analysis.rules import get_rules
+
+    return _bench_rules(repeats, rules=get_rules(NUMERIC_TIER))
+
+
 def main() -> int:
     print(f"linting {SRC} cold vs cached ...", flush=True)
     result = bench_lint()

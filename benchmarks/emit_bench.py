@@ -55,7 +55,11 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.bench_lint import bench_lint, bench_totoperf  # noqa: E402
+from benchmarks.bench_lint import (  # noqa: E402
+    bench_lint,
+    bench_totonum,
+    bench_totoperf,
+)
 from benchmarks.bench_perf_kernel import pump_kernel  # noqa: E402
 from repro import __version__  # noqa: E402
 from repro.core.runner import run_scenario  # noqa: E402
@@ -119,7 +123,10 @@ def run_checks(out_path: str, kernel_events: int) -> int:
       warning when the committed record was taken on a machine with a
       different core count (throughput is not comparable across them);
     * **lint** — re-measure one cold whole-program analysis and fail
-      when it regressed more than ``LINT_REGRESSION_TOLERANCE``.
+      when it regressed more than ``LINT_REGRESSION_TOLERANCE``;
+    * **totonum** — same ceiling for one cold numeric-tier
+      (TL030..TL034) run, so the merge-registry/numeric-scope
+      inference cannot quietly blow up lint latency.
     """
     path = pathlib.Path(out_path)
     if not path.exists():
@@ -181,6 +188,21 @@ def run_checks(out_path: str, kernel_events: int) -> int:
     else:
         print("lint gate skipped: committed record has no "
               "lint.cold_seconds")
+
+    committed_num = committed.get("totonum", {}).get("cold_seconds")
+    if committed_num:
+        print("cold numeric-tier lint ...", flush=True)
+        measured_num = bench_totonum(repeats=1)["cold_seconds"]
+        ceiling = committed_num * (1.0 + LINT_REGRESSION_TOLERANCE)
+        verdict = "OK" if measured_num <= ceiling else "REGRESSION"
+        print(f"totonum cold seconds: measured {measured_num} vs "
+              f"committed {committed_num} (ceiling {ceiling:.3f}) -> "
+              f"{verdict}")
+        if measured_num > ceiling:
+            failures += 1
+    else:
+        print("totonum gate skipped: committed record has no "
+              "totonum.cold_seconds")
 
     return 1 if failures else 0
 
@@ -361,6 +383,11 @@ def main(argv=None) -> int:
     print(f"  cold {totoperf['cold_seconds']}s, cached "
           f"{totoperf['cached_seconds']}s -> {totoperf['cache_speedup']}x")
 
+    print("numeric tier (TL030..TL034), cold vs cached ...", flush=True)
+    totonum = bench_totonum(repeats=1 if args.quick else 3)
+    print(f"  cold {totonum['cold_seconds']}s, cached "
+          f"{totonum['cached_seconds']}s -> {totonum['cache_speedup']}x")
+
     payload = {
         "version": __version__,
         "quick": args.quick,
@@ -375,6 +402,7 @@ def main(argv=None) -> int:
         "fleet": fleet,
         "lint": lint,
         "totoperf": totoperf,
+        "totonum": totonum,
     }
     pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -8,12 +8,16 @@ that determinism contract from both sides:
 
 * **Statically** — an AST lint engine (:mod:`.engine`) walks every
   module under ``src/repro/`` and applies the repo-specific rules
-  registered in :mod:`.rules` (TL001..TL014).  A whole-program pass
+  registered in :mod:`.rules` (determinism TL001..TL014, performance
+  TL020..TL024 in :mod:`.perf_rules`, numeric determinism
+  TL030..TL034 in :mod:`.numeric_rules`).  A whole-program pass
   (:mod:`.graph`) builds the import/call graph, infers the hot set
-  reachable from simkernel event handlers and chaos gates, and derives
-  the RNG substream registry (:mod:`.registry`) behind the TL010..TL012
-  rules.  Findings can be ratcheted via :mod:`.baseline` and exported
-  as SARIF (:mod:`.sarif`).
+  reachable from simkernel event handlers and chaos gates, derives
+  the RNG substream registry (:mod:`.registry`) behind the
+  TL010..TL012 rules, and collects the ``# totolint: merge-fn`` /
+  ``canonical-json`` registry behind the numeric tier.  Findings can
+  be ratcheted via :mod:`.baseline` and exported as SARIF
+  (:mod:`.sarif`).
 * **At runtime** — the DetSan sanitizer (:mod:`.detsan`) replays a
   scenario twice, fingerprints every RNG draw and event scheduling,
   and cross-checks each observed stream acquisition against the static
@@ -21,7 +25,11 @@ that determinism contract from both sides:
   (:mod:`.perfsan`) meters per-call allocation in the inferred hot set
   with :mod:`tracemalloc` and fails when a statically allocation-free
   function allocates — or when no inferred-hot function fires at all
-  (``repro run --perfsan``).
+  (``repro run --perfsan``).  The FloatSan sanitizer (:mod:`.floatsan`)
+  wraps every registered merge-fn, audits operand spec order, replays
+  insensitive-declared merges under permutation, and fails on the
+  first bit divergence — or when the merge registry never fires
+  (``repro run --floatsan``).
 
 Entry points:
 
@@ -46,6 +54,14 @@ from repro.analysis.engine import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.floatsan import (
+    FloatSan,
+    FloatSanReport,
+    OrderViolation,
+    ReplayDivergence,
+    merge_registry,
+    verify_float_run,
+)
 from repro.analysis.graph import DrawSite, ProgramGraph
 from repro.analysis.perfsan import (
     AllocationMismatch,
@@ -62,15 +78,21 @@ __all__ = [
     "Baseline",
     "BaselineResult",
     "DrawSite",
+    "FloatSan",
+    "FloatSanReport",
     "LintReport",
     "ModuleContext",
+    "OrderViolation",
     "PerfSanReport",
+    "ReplayDivergence",
     "ProgramGraph",
     "RegistryEntry",
     "Rule",
     "SubstreamRegistry",
     "Violation",
     "all_rules",
+    "merge_registry",
+    "verify_float_run",
     "verify_perf_run",
     "format_json",
     "format_sarif",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.analysis.engine import LintEngineError, Violation
 
@@ -47,6 +47,17 @@ def _portable(path: str) -> str:
 
 def _key(violation: Violation) -> _Key:
     return (violation.rule, _portable(violation.path), violation.message)
+
+
+def _parse_entry(path: str, entry: Any) -> Tuple[_Key, int]:
+    """One baseline-file entry as its ledger key plus count."""
+    try:
+        key = (str(entry["rule"]), _portable(str(entry["path"])),
+               str(entry["message"]))
+        return key, int(entry.get("count", 1))
+    except (TypeError, KeyError) as exc:
+        raise LintEngineError(
+            f"baseline {path} has a malformed entry: {entry!r}") from exc
 
 
 @dataclass
@@ -91,14 +102,8 @@ class Baseline:
                 f"baseline {path} is missing the 'entries' list")
         counts: Dict[_Key, int] = {}
         for entry in payload["entries"]:
-            try:
-                key = (str(entry["rule"]), _portable(str(entry["path"])),
-                       str(entry["message"]))
-                counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
-            except (TypeError, KeyError) as exc:
-                raise LintEngineError(
-                    f"baseline {path} has a malformed entry: "
-                    f"{entry!r}") from exc
+            key, count = _parse_entry(path, entry)
+            counts[key] = counts.get(key, 0) + count
         return cls(counts)
 
     def write(self, path: str) -> None:

@@ -55,7 +55,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--select", default=None, metavar="TL020,TL021",
         help="comma-separated rule subset to run (alias of --rules; "
-             "CI uses it to split the determinism and perf tiers)")
+             "CI uses it to split the determinism, perf, and numeric "
+             "tiers)")
     parser.add_argument(
         "--ignore", default=None, metavar="TL024",
         help="comma-separated rules to drop from the selection")
@@ -168,7 +169,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="totolint",
         description="determinism & correctness linter for the Toto "
-                    "reproduction (rules TL001..TL014)")
+                    "reproduction (determinism TL001..TL014, perf "
+                    "TL020..TL024, numeric TL030..TL034)")
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
     return run_lint(paths=args.paths, output_format=args.format,

@@ -1,0 +1,386 @@
+"""FloatSan: the reduction-order sanitizer.
+
+The static half of the numeric-determinism contract lives in
+:mod:`repro.analysis.numeric_rules` — rules TL030..TL034 reason about
+the merge registry (``# totolint: merge-fn`` functions) and the paths
+feeding canonical digests.  FloatSan is the runtime half
+(``repro run --floatsan``): it wraps every registered merge helper for
+the duration of one run, records each invocation's operand order and
+result bits, and cross-checks what actually happened against what the
+annotations claim:
+
+1. **Out-of-spec operand order** — a merge-fn declared ``ordered``
+   (the default) promises its caller feeds operands in spec order:
+   ascending ``hour_index`` / ``name`` / ``seed`` / ``db_id``,
+   whichever key its operands carry.  A caller that feeds completion
+   order instead would still fold left-to-right — but over a
+   different sequence per sharding mode, so the totals drift.  The
+   first out-of-order pair fails the run with both keys.
+2. **Order-sensitivity lies** — a merge-fn declared
+   ``merge-fn=insensitive`` claims permuting its input cannot change
+   the result's bits (and, implicitly, that it is pure: FloatSan
+   *re-invokes* it under permuted operand orders to check).  The
+   first divergence fails the run with the field path where the bits
+   split.  ``ordered`` helpers are never re-invoked — observing them
+   must not perturb the run.
+3. **Stale registry** — if no registered merge-fn ever fires during a
+   real run, the static registry (and every TL034 verdict built on
+   it) is tracking a program that no longer exists.
+
+Patching is mock.patch-style: every module attribute referencing a
+registered function is swapped for the recording wrapper, so direct
+``from ... import merge_summaries`` call sites are intercepted too.
+Instrumentation is strictly opt-in; an unverified run pays nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import sys
+from dataclasses import dataclass, field
+from functools import wraps
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Spec-order key attributes, tried in this order; the first one the
+#: operands carry defines their spec order.
+SPEC_KEYS = ("hour_index", "name", "seed", "db_id")
+
+#: Re-invocation cap per insensitive-declared merge-fn (replays are
+#: O(merge) each; a handful of checked invocations is plenty).
+MAX_REPLAYS = 8
+
+
+def _result_bits(value: Any) -> str:
+    """Bit-exact fingerprint of a merge result.
+
+    ``repr`` round-trips floats exactly (shortest repr) and dataclass
+    reprs include every field, so equal fingerprints mean equal bits.
+    """
+    return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()[:16]
+
+
+def _first_divergence(a: Any, b: Any,
+                      path: str = "result") -> Tuple[str, Any, Any]:
+    """Walk two merge results and locate the first differing leaf."""
+    if dataclasses.is_dataclass(a) and dataclasses.is_dataclass(b) \
+            and type(a) is type(b):
+        for f in dataclasses.fields(a):
+            left, right = getattr(a, f.name), getattr(b, f.name)
+            if repr(left) != repr(right):
+                return _first_divergence(left, right,
+                                         f"{path}.{f.name}")
+        return path, a, b
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        for index, (left, right) in enumerate(zip(a, b)):
+            if repr(left) != repr(right):
+                return _first_divergence(left, right,
+                                         f"{path}[{index}]")
+        return f"{path}(len)", len(a), len(b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in a:
+            if key in b and repr(a[key]) != repr(b[key]):
+                return _first_divergence(a[key], b[key],
+                                         f"{path}[{key!r}]")
+        return f"{path}(keys)", sorted(map(repr, a)), sorted(map(repr, b))
+    return path, a, b
+
+
+@dataclass(frozen=True)
+class OrderViolation:
+    """An ``ordered`` merge-fn was fed operands out of spec order."""
+
+    qualname: str
+    spec_key: str
+    index: int
+    previous: Any
+    current: Any
+
+    def format(self) -> str:
+        return (f"{self.qualname} — operand {self.index} is out of "
+                f"spec order: {self.spec_key}={self.current!r} after "
+                f"{self.spec_key}={self.previous!r}; the caller must "
+                "feed spec order (ascending), not completion order")
+
+
+@dataclass(frozen=True)
+class ReplayDivergence:
+    """An ``insensitive`` merge-fn changed bits under permutation."""
+
+    qualname: str
+    permutation: str
+    operands: int
+    path: str
+    original: str
+    permuted: str
+
+    def format(self) -> str:
+        return (f"{self.qualname} — declared order-insensitive, but "
+                f"replaying {self.operands} operands {self.permutation} "
+                f"diverges at {self.path}: {self.original} != "
+                f"{self.permuted}; the reduction is order-sensitive "
+                "and must be declared `merge-fn` (ordered)")
+
+
+@dataclass
+class FloatSanReport:
+    """Outcome of one verified (``--floatsan``) run."""
+
+    registered: int
+    patched: int
+    invocations: int
+    replays: int
+    fired: Tuple[str, ...] = ()
+    unobserved: Tuple[str, ...] = ()
+    order_violations: List[OrderViolation] = field(default_factory=list)
+    divergences: List[ReplayDivergence] = field(default_factory=list)
+    stale_registry: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (not self.order_violations and not self.divergences
+                and not self.stale_registry)
+
+    def format(self) -> str:
+        lines = [
+            f"floatsan: {self.registered} registered merge-fns "
+            f"({self.patched} patched), {len(self.fired)} fired over "
+            f"{self.invocations} invocations, {self.replays} permuted "
+            "replays",
+        ]
+        if self.unobserved and not self.stale_registry:
+            lines.append("floatsan: never fired this run: "
+                         + ", ".join(self.unobserved))
+        if self.stale_registry:
+            lines.append(
+                "floatsan: STALE REGISTRY — no registered merge-fn "
+                "ever fired; the `# totolint: merge-fn` registry no "
+                "longer matches the running program and every TL034 "
+                "verdict built on it is suspect")
+        for violation in self.order_violations:
+            lines.append(f"floatsan: ORDER VIOLATION {violation.format()}")
+        for divergence in self.divergences:
+            lines.append(f"floatsan: DIVERGENCE {divergence.format()}")
+        if self.ok:
+            lines.append(
+                "floatsan: OK — every fold ran over spec-ordered "
+                "operands, every insensitivity claim held, registry "
+                "live")
+        return "\n".join(lines)
+
+
+class _MergeStats:
+    """Runtime counters for one registered merge-fn."""
+
+    __slots__ = ("invocations", "replays")
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.replays = 0
+
+
+class FloatSan:
+    """Wrap the merge registry for one run and audit every invocation.
+
+    ``registry`` maps ``(path, qualname) -> sensitivity`` — the shape
+    :meth:`~repro.analysis.graph.ProgramGraph.merge_functions` returns.
+    """
+
+    def __init__(self, registry: Dict[Tuple[str, str], str]) -> None:
+        self.registry = dict(registry)
+        self.stats: Dict[str, _MergeStats] = {}
+        self.order_violations: List[OrderViolation] = []
+        self.divergences: List[ReplayDivergence] = []
+        self.patched: List[str] = []
+        #: (owner, attribute, original) triples to restore on uninstall.
+        self._restores: List[Tuple[Any, str, Any]] = []
+        self._installed = False
+
+    # -- patching --------------------------------------------------------
+
+    def install(self) -> None:
+        """Swap every registered, resolvable merge-fn for its wrapper."""
+        if self._installed:
+            return
+        self._installed = True
+        for (path, qualname), sensitivity in sorted(self.registry.items()):
+            original = self._resolve(path, qualname)
+            if original is None:
+                continue
+            wrapper = self._wrap(qualname, sensitivity, original)
+            if self._patch_references(original, wrapper):
+                self.patched.append(qualname)
+
+    def uninstall(self) -> None:
+        for owner, attribute, original in reversed(self._restores):
+            setattr(owner, attribute, original)
+        self._restores.clear()
+        self._installed = False
+
+    def _resolve(self, path: str, qualname: str) -> Optional[Callable]:
+        """The live object behind one registry entry, if importable."""
+        from repro.analysis.engine import module_name_for
+        try:
+            module = importlib.import_module(
+                module_name_for(Path(path)))
+        except ImportError:
+            return None
+        target: Any = module
+        for part in qualname.split("."):
+            target = getattr(target, part, None)
+            if target is None:
+                return None
+        return target if callable(target) else None
+
+    def _patch_references(self, original: Callable,
+                          wrapper: Callable) -> bool:
+        """Swap every module-level reference to ``original``.
+
+        Call sites import merge-fns directly (``from ... import
+        merge_summaries``), so patching only the defining module would
+        miss them; like ``mock.patch``, every loaded module holding a
+        reference gets the wrapper.
+        """
+        patched = False
+        for module in list(sys.modules.values()):
+            module_vars = getattr(module, "__dict__", None)
+            if not module_vars:
+                continue
+            for attribute, value in list(module_vars.items()):
+                if value is original:
+                    setattr(module, attribute, wrapper)
+                    self._restores.append((module, attribute, original))
+                    patched = True
+        return patched
+
+    # -- the wrapper -----------------------------------------------------
+
+    def _wrap(self, qualname: str, sensitivity: str,
+              original: Callable) -> Callable:
+        stats = self.stats.setdefault(qualname, _MergeStats())
+
+        @wraps(original)
+        def audited(*args: Any, **kwargs: Any) -> Any:
+            stats.invocations += 1
+            operands = self._operands(args)
+            if operands is not None:
+                self._check_spec_order(qualname, operands)
+            result = original(*args, **kwargs)
+            if (sensitivity == "insensitive" and operands is not None
+                    and len(operands) >= 2
+                    and stats.replays < MAX_REPLAYS):
+                stats.replays += 1
+                self._replay(qualname, original, operands, result,
+                             args, kwargs)
+            return result
+
+        return audited
+
+    def _operands(self, args: Tuple[Any, ...]) -> Optional[List[Any]]:
+        """The merged sequence: the first sequence-shaped argument."""
+        if not args:
+            return None
+        first = args[0]
+        if isinstance(first, (list, tuple)):
+            return list(first)
+        return None
+
+    def _check_spec_order(self, qualname: str,
+                          operands: List[Any]) -> None:
+        if len(operands) < 2:
+            return
+        spec_key = next(
+            (key for key in SPEC_KEYS if hasattr(operands[0], key)),
+            None)
+        if spec_key is None:
+            return
+        keys = [getattr(operand, spec_key) for operand in operands]
+        for index in range(1, len(keys)):
+            if keys[index] < keys[index - 1]:
+                self.order_violations.append(OrderViolation(
+                    qualname=qualname, spec_key=spec_key, index=index,
+                    previous=keys[index - 1], current=keys[index]))
+                return  # first mismatch only; one report per invocation
+
+    def _replay(self, qualname: str, original: Callable,
+                operands: List[Any], result: Any,
+                args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> None:
+        """Re-invoke an insensitive-declared fn under permuted order."""
+        baseline = _result_bits(result)
+        permutations = [("reversed", list(reversed(operands)))]
+        if len(operands) > 2:
+            permutations.append(("rotated by one",
+                                 operands[1:] + operands[:1]))
+        for label, permuted in permutations:
+            replayed = original(permuted, *args[1:], **kwargs)
+            if _result_bits(replayed) != baseline:
+                path, left, right = _first_divergence(result, replayed)
+                self.divergences.append(ReplayDivergence(
+                    qualname=qualname, permutation=label,
+                    operands=len(operands), path=path,
+                    original=repr(left), permuted=repr(right)))
+                return  # first divergence only
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self) -> FloatSanReport:
+        fired = tuple(sorted(qualname
+                             for qualname, stats in self.stats.items()
+                             if stats.invocations))
+        unobserved = tuple(sorted(set(self.patched) - set(fired)))
+        invocations = sum(s.invocations for s in self.stats.values())
+        return FloatSanReport(
+            registered=len(self.registry),
+            patched=len(self.patched),
+            invocations=invocations,
+            replays=sum(s.replays for s in self.stats.values()),
+            fired=fired,
+            unobserved=unobserved,
+            order_violations=list(self.order_violations),
+            divergences=list(self.divergences),
+            stale_registry=bool(self.patched) and invocations == 0,
+        )
+
+
+def merge_registry(paths: Optional[Sequence[Path]] = None,
+                   cache_path: Optional[Path] = None
+                   ) -> Dict[Tuple[str, str], str]:
+    """The static merge registry: annotated functions under ``paths``."""
+    from repro.analysis.graph import ProgramGraph
+
+    if paths is None:
+        import repro
+        paths = [Path(repro.__file__).resolve().parent]
+    graph = ProgramGraph.build(list(paths), cache_path=cache_path)
+    return graph.merge_functions()
+
+
+def verify_float_run(scenario: Any,
+                     paths: Optional[Sequence[Path]] = None,
+                     cache_path: Optional[Path] = None
+                     ) -> Tuple[Any, FloatSanReport]:
+    """Run ``scenario`` once under FloatSan and audit every merge.
+
+    Returns ``(result, report)`` where ``result`` is the run's
+    :class:`~repro.core.runner.BenchmarkResult`.  Runner imports are
+    deferred so the analysis layer stays importable on its own.
+    """
+    from repro.core.runner import run_scenario
+
+    sanitizer = FloatSan(merge_registry(paths, cache_path=cache_path))
+    sanitizer.install()
+    try:
+        result = run_scenario(scenario)
+    finally:
+        sanitizer.uninstall()
+    return result, sanitizer.report()

@@ -42,7 +42,7 @@ from repro.analysis.engine import (
 )
 
 #: Bump when the extract shape changes; stale caches are discarded.
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 #: Methods that draw from (or derive seeds off) an RNG registry.
 #: ``batched`` is the vectorized façade — it acquires the same named
@@ -80,6 +80,19 @@ _SUBSTREAM_ANNOTATION = re.compile(
 #: line as growing with the fleet (databases, replicas, telemetry
 #: records); TL022 flags full rescans of it on per-event paths.
 _FLEET_ANNOTATION = re.compile(r"#\s*totolint:\s*fleet-scale\b")
+
+#: ``# totolint: merge-fn[=insensitive]`` — registers the annotated
+#: function as a sequential merge helper.  Placed on (or directly
+#: above) the ``def`` line.  TL034 checks the body is a left-fold and
+#: FloatSan wraps the function at runtime; ``=insensitive`` declares
+#: the reduction order-insensitive (bit-identical under permutation),
+#: the default (``ordered``) declares it spec-order-sensitive.
+_MERGE_ANNOTATION = re.compile(r"#\s*totolint:\s*merge-fn(?:=(\w+))?")
+
+#: ``# totolint: canonical-json`` — marks the annotated function as a
+#: canonical float-rendering sink (digest/JSON export); TL033 flags
+#: ad-hoc float rendering on digest paths *outside* these sinks.
+_CANONICAL_ANNOTATION = re.compile(r"#\s*totolint:\s*canonical-json\b")
 
 #: Method names that mutate the receiver in place (TL023 input).
 _MUTATOR_METHODS = frozenset({
@@ -176,6 +189,14 @@ class ModuleExtract:
     worker_inits: List[str] = field(default_factory=list)
     #: Lines where a lambda/closure is submitted to a pool directly.
     worker_lambdas: List[int] = field(default_factory=list)
+    #: ``(qualname, sensitivity)`` of ``# totolint: merge-fn`` functions.
+    merge_fns: List[Tuple[str, str]] = field(default_factory=list)
+    #: Qualnames annotated ``# totolint: canonical-json``.
+    canonical_fns: List[str] = field(default_factory=list)
+    #: Qualnames of functions that accumulate (``+=``) inside a loop —
+    #: the float-accumulation fact behind TL034's unannotated-merger
+    #: check (over-approximate: integer accumulators count too).
+    accumulators: List[str] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -196,6 +217,10 @@ class ModuleExtract:
             "worker_roots": list(self.worker_roots),
             "worker_inits": list(self.worker_inits),
             "worker_lambdas": list(self.worker_lambdas),
+            "merge_fns": [[qualname, sensitivity]
+                          for qualname, sensitivity in self.merge_fns],
+            "canonical_fns": list(self.canonical_fns),
+            "accumulators": list(self.accumulators),
         }
 
     @classmethod
@@ -219,6 +244,11 @@ class ModuleExtract:
         extract.worker_roots = list(data["worker_roots"])  # type: ignore[arg-type]
         extract.worker_inits = list(data["worker_inits"])  # type: ignore[arg-type]
         extract.worker_lambdas = list(data["worker_lambdas"])  # type: ignore[arg-type]
+        extract.merge_fns = [
+            (str(qualname), str(sensitivity))
+            for qualname, sensitivity in data["merge_fns"]]  # type: ignore[union-attr]
+        extract.canonical_fns = list(data["canonical_fns"])  # type: ignore[arg-type]
+        extract.accumulators = list(data["accumulators"])  # type: ignore[arg-type]
         return extract
 
 
@@ -246,7 +276,7 @@ class _Scope:
     """One lexical scope being extracted (module, class, or function)."""
 
     __slots__ = ("prefix", "calls", "refs", "callbacks", "mutations",
-                 "binds", "globals")
+                 "binds", "globals", "accumulates")
 
     def __init__(self, prefix: str) -> None:
         self.prefix = prefix
@@ -254,6 +284,8 @@ class _Scope:
         self.refs: List[str] = []
         self.callbacks: List[str] = []
         self.mutations: List[str] = []
+        #: Whether the scope runs an ``+=`` inside a loop body.
+        self.accumulates = False
         #: Names bound locally (params, assignments, loop targets):
         #: in-place mutation of these is not module-state mutation.
         self.binds: Set[str] = set()
@@ -271,6 +303,7 @@ class _ModuleVisitor(ast.NodeVisitor):
             number for number, line in enumerate(self.lines, start=1)
             if _FLEET_ANNOTATION.search(line)}
         self._scopes: List[_Scope] = []
+        self._loop_depth = 0
 
     # -- scope helpers --------------------------------------------------
 
@@ -287,6 +320,8 @@ class _ModuleVisitor(ast.NodeVisitor):
                          or name in scope.globals]
             mutations.extend(name for name in sorted(scope.globals)
                              if name in scope.binds)
+            if scope.accumulates:
+                self.extract.accumulators.append(scope.prefix)
             self.extract.functions.append(FunctionNode(
                 qualname=scope.prefix,
                 name=scope.prefix.rsplit(".", 1)[-1],
@@ -333,8 +368,36 @@ class _ModuleVisitor(ast.NodeVisitor):
                         args.vararg, args.kwarg):
                 if arg is not None:
                     scope.binds.add(arg.arg)
+        self._note_function_annotations(node)
+        outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
+        self._loop_depth = outer_depth
         self._exit(node, is_function=True)
+
+    def _note_function_annotations(self, node: ast.AST) -> None:
+        """Pick up merge-fn / canonical-json markers on the signature.
+
+        Accepted placements: the line directly above the first
+        decorator (or the ``def`` when undecorated), any decorator
+        line, and any line of the ``def`` signature itself.
+        """
+        start = node.lineno  # type: ignore[attr-defined]
+        decorators = getattr(node, "decorator_list", None) or ()
+        for decorator in decorators:
+            start = min(start, decorator.lineno)
+        body = getattr(node, "body", None)
+        end = body[0].lineno - 1 if body else start
+        qualname = self._scopes[-1].prefix
+        for lineno in range(max(start - 1, 1), max(end, start) + 1):
+            line = self.lines[lineno - 1]
+            match = _MERGE_ANNOTATION.search(line)
+            if match and all(q != qualname
+                             for q, _ in self.extract.merge_fns):
+                self.extract.merge_fns.append(
+                    (qualname, match.group(1) or "ordered"))
+            if _CANONICAL_ANNOTATION.search(line) \
+                    and qualname not in self.extract.canonical_fns:
+                self.extract.canonical_fns.append(qualname)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node, node.name)
@@ -395,7 +458,19 @@ class _ModuleVisitor(ast.NodeVisitor):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._note_assignment(node, [node.target], None)
+        if self._loop_depth > 0 and isinstance(node.op, ast.Add) \
+                and self._scopes:
+            self._scopes[-1].accumulates = True
         self.generic_visit(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
 
     def visit_Call(self, node: ast.Call) -> None:
         callee = _terminal(node.func)
@@ -495,6 +570,11 @@ class ProgramGraph:
         #: path -> sorted (start, end, qualname) intervals of hot code.
         self._hot: Dict[str, List[Tuple[int, int, str]]] = {}
         self._hot_names: Set[str] = set()
+        #: Lazily-computed merge/digest-path intervals (numeric tier).
+        self._numeric: Optional[
+            Dict[str, List[Tuple[int, int, str]]]] = None
+        #: Memoized worker-reachable set (graph is immutable once built).
+        self._workers: Optional[Set[Tuple[str, str]]] = None
 
     # -- construction ---------------------------------------------------
 
@@ -657,6 +737,8 @@ class ProgramGraph:
         or installed as its ``initializer=``.  Edges are the same
         name-level over-approximation the hot-set inference uses.
         """
+        if self._workers is not None:
+            return set(self._workers)
         roots = {name for extract in self.modules.values()
                  for name in (*extract.worker_roots,
                               *extract.worker_inits)}
@@ -685,7 +767,94 @@ class ProgramGraph:
                     candidate = (target_path, target.qualname)
                     if candidate not in seen:
                         frontier.append(candidate)
-        return seen
+        self._workers = seen
+        return set(seen)
+
+    def merge_functions(self) -> Dict[Tuple[str, str], str]:
+        """``(path, qualname) -> sensitivity`` of every merge-fn.
+
+        The static half of the merge registry: the functions annotated
+        ``# totolint: merge-fn`` that TL034 checks for left-fold
+        conformance and FloatSan wraps at runtime.
+        """
+        found: Dict[Tuple[str, str], str] = {}
+        for path, extract in sorted(self.modules.items()):
+            for qualname, sensitivity in extract.merge_fns:
+                found[(path, qualname)] = sensitivity
+        return found
+
+    def canonical_sink_names(self) -> Set[str]:
+        """Terminal names of ``# totolint: canonical-json`` functions."""
+        return {qualname.rsplit(".", 1)[-1]
+                for extract in self.modules.values()
+                for qualname in extract.canonical_fns}
+
+    def float_accumulators(self) -> Set[Tuple[str, str]]:
+        """(path, qualname) of functions that ``+=``-accumulate in a loop."""
+        return {(path, qualname)
+                for path, extract in self.modules.items()
+                for qualname in extract.accumulators}
+
+    def numeric_intervals(self) -> Dict[str, List[Tuple[int, int, str]]]:
+        """path -> (start, end, qualname) intervals of merge/digest paths.
+
+        The scope of the numeric-determinism tier: registered merge
+        helpers, canonical-JSON sinks, and their direct callers or
+        referrers — the code that *feeds* values into a merged KPI or
+        golden digest.  Deliberately one hop, not a closure: a model
+        reducing over its own in-shard array is deterministic however
+        it folds; only the cross-shard aggregation step must pin an
+        order.  Computed lazily and memoized — the graph is immutable
+        once built.
+        """
+        cached = self._numeric
+        if cached is not None:
+            return {path: list(intervals)
+                    for path, intervals in cached.items()}
+
+        merge_names = {qualname.rsplit(".", 1)[-1]
+                       for extract in self.modules.values()
+                       for qualname, _ in extract.merge_fns}
+        anchor_names = merge_names | self.canonical_sink_names()
+
+        numeric: Dict[str, List[Tuple[int, int, str]]] = {}
+        for path, extract in self.modules.items():
+            anchors = {qualname for qualname, _ in extract.merge_fns}
+            anchors.update(extract.canonical_fns)
+            for function in extract.functions:
+                if function.qualname in anchors or any(
+                        name in anchor_names
+                        for name in (*function.calls, *function.refs)):
+                    numeric.setdefault(path, []).append(
+                        (function.start, function.end,
+                         function.qualname))
+        for intervals in numeric.values():
+            intervals.sort()
+        self._numeric = numeric
+        return {path: list(intervals) for path, intervals in numeric.items()}
+
+    def is_numeric(self, path: str, line: int) -> bool:
+        """Whether ``line`` of ``path`` lies on a merge/digest path."""
+        intervals = self._numeric
+        if intervals is None:
+            self.numeric_intervals()
+            intervals = self._numeric or {}
+        for start, end, _ in intervals.get(path, ()):
+            if start <= line <= end:
+                return True
+        return False
+
+    def canonical_intervals(self, path: str) -> List[Tuple[int, int, str]]:
+        """(start, end, qualname) of canonical-JSON sinks in ``path``."""
+        extract = self.modules.get(path)
+        if extract is None:
+            return []
+        spans = []
+        for function in extract.functions:
+            if function.qualname in extract.canonical_fns:
+                spans.append((function.start, function.end,
+                              function.qualname))
+        return sorted(spans)
 
     def draw_sites(self) -> Tuple[DrawSite, ...]:
         """Every draw site in the program, in stable (path, line) order."""

@@ -747,8 +747,10 @@ class ObservabilityIsPassive(Rule):
 
 
 # ---------------------------------------------------------------------------
-# TL020..TL024 — the performance tier ("totoperf"), defined in its own
-# module.  Imported last: the perf rules subclass Rule/register above,
-# which are already bound by the time this import executes.
+# TL020..TL024 — the performance tier ("totoperf") and TL030..TL034 —
+# the numeric-determinism tier ("totonum"), defined in their own
+# modules.  Imported last: both subclass Rule/register above, which
+# are already bound by the time these imports execute.
 
 from repro.analysis import perf_rules as _perf_rules  # noqa: E402,F401
+from repro.analysis import numeric_rules as _numeric_rules  # noqa: E402,F401

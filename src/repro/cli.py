@@ -142,6 +142,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         result, perf_report = verify_perf_run(scenario)
         print(perf_report.format())
         detsan_exit = detsan_exit or (0 if perf_report.ok else 1)
+    if args.floatsan:
+        from repro.analysis.floatsan import verify_float_run
+        result, float_report = verify_float_run(scenario)
+        print(float_report.format())
+        detsan_exit = detsan_exit or (0 if float_report.ok else 1)
     if result is None:
         result = run_scenario(scenario)
     kpis = result.kpis
@@ -314,6 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "with tracemalloc and cross-check the static "
                           "TL020 allocation-free verdicts (exit 1 on "
                           "any mismatch or a stale hot set)")
+    run.add_argument("--floatsan", action="store_true",
+                     help="run under the reduction-order sanitizer: "
+                          "audit every registered merge-fn's operand "
+                          "order, replay insensitive-declared merges "
+                          "under permutation, and cross-check the "
+                          "static TL034 registry (exit 1 on any "
+                          "divergence or a stale registry)")
     run.add_argument("--trace", action="store_true",
                      help="record a span per executed event (plus chaos "
                           "gate marks) to trace.jsonl")
@@ -375,7 +387,8 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
     lint = sub.add_parser(
         "lint",
-        help="determinism & correctness static analysis (TL001..TL014)")
+        help="determinism, perf & numeric static analysis "
+             "(TL001..TL014, TL020..TL024, TL030..TL034)")
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 

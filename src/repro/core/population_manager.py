@@ -18,6 +18,7 @@ across density experiments; only admission outcomes differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional
 
 import numpy as np
@@ -143,7 +144,7 @@ class PopulationManager:
                 request = self._sample_create(now, edition)
                 self.request_log.append(request)
                 self._kernel.schedule_oneshot(
-                    request.at, lambda r=request: self._execute_create(r),
+                    request.at, partial(self._execute_create, request),
                     label=self._create_labels[edition])
             if n_drops:
                 # All of this hour's drop offsets in one draw; the
@@ -153,7 +154,7 @@ class PopulationManager:
                 for offset in offsets:
                     self._kernel.schedule_oneshot(
                         now + int(offset),
-                        lambda e=edition: self._execute_drop(e),
+                        partial(self._execute_drop, edition),
                         label=self._drop_labels[edition])
 
     def _sample_create(self, now: int, edition: Edition) -> CreateRequest:

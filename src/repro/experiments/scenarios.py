@@ -33,7 +33,11 @@ DEFAULT_SCENARIO_SEED = 42
 _ARTIFACT_CACHE: Dict[Tuple, TrainingArtifacts] = {}
 
 
-def trained_artifacts(profile: RegionProfile = US_EAST_LIKE,
+# The memo below is keyed by content (profile name, seed, days, corpus
+# size) and training is a pure function of that key, so a worker-local
+# cache entry can never diverge from the parent's — the TL023 hazard
+# (worker state that should have propagated back) does not apply.
+def trained_artifacts(profile: RegionProfile = US_EAST_LIKE,  # totolint: disable=TL023
                       training_seed: int = DEFAULT_TRAINING_SEED,
                       training_days: int = 14,
                       disk_corpus_size: int = 1200) -> TrainingArtifacts:

@@ -115,9 +115,7 @@ class PlacementAndLoadBalancer:
         raises :class:`PlacementError` when no feasible assignment
         exists — the control plane turns that into a creation redirect.
         """
-        feasible = [node for node in self._nodes
-                    if self._fits(node, loads)
-                    and not node.hosts_service(service_id)]
+        feasible = self._feasible_nodes(service_id, loads)
         if len(feasible) < replica_count:
             self.stats.placement_failures += 1
             raise PlacementError(
@@ -170,9 +168,7 @@ class PlacementAndLoadBalancer:
         """
         records: List[FailoverRecord] = []
         for _ in range(MAX_MAKE_ROOM_MOVES):
-            feasible = [node for node in self._nodes
-                        if self._fits(node, loads)
-                        and not node.hosts_service(service_id)]
+            feasible = self._feasible_nodes(service_id, loads)
             if len(feasible) >= replica_count:
                 break
             move = self._one_make_room_move(now, service_id, loads, cluster)
@@ -180,6 +176,30 @@ class PlacementAndLoadBalancer:
                 break
             records.append(move)
         return records
+
+    def _feasible_nodes(self, service_id: str,
+                        loads: Dict[str, float]) -> List[Node]:
+        """Nodes that could host one more replica of the service."""
+        return [node for node in self._nodes
+                if self._fits(node, loads)
+                and not node.hosts_service(service_id)]
+
+    def _blocked_by_unsheddable(self, node: Node,
+                                loads: Dict[str, float]) -> bool:
+        """Whether disk/memory (not CPU) is what blocks this node."""
+        return any(
+            loads.get(metric, 0.0) > 0
+            and node.free(metric) < loads.get(metric, 0.0)
+            for metric in _UNSHEDDABLE_METRICS)
+
+    def _movable_replicas(self, node: Node,
+                          shortfall: float) -> List[Replica]:
+        """Shed candidates on ``node``, best single move first."""
+        return sorted(
+            (r for r in node.replicas if r.cpu_cores > 0),
+            key=lambda r: (r.cpu_cores < shortfall,  # prefer one-shot
+                           r.is_primary,             # secondaries first
+                           r.load(DISK_GB), r.replica_id))
 
     def _one_make_room_move(self, now: int, service_id: str,
                             loads: Dict[str, float],
@@ -195,23 +215,15 @@ class PlacementAndLoadBalancer:
                 continue  # already feasible; nothing to free here
             # Only CPU can be freed by moving reservations; give up on
             # nodes blocked by disk or memory.
-            blocked_by_other = any(
-                loads.get(metric, 0.0) > 0
-                and node.free(metric) < loads.get(metric, 0.0)
-                for metric in _UNSHEDDABLE_METRICS)
-            if blocked_by_other:
+            if self._blocked_by_unsheddable(node, loads):
                 continue
+            if needed_cpu - node.free(CPU_CORES) > 0:
+                candidates.append(node)
+        candidates.sort(key=lambda node: (needed_cpu - node.free(CPU_CORES),
+                                          node.node_id))
+        for node in candidates:
             shortfall = needed_cpu - node.free(CPU_CORES)
-            if shortfall > 0:
-                candidates.append((shortfall, node))
-        candidates.sort(key=lambda pair: (pair[0], pair[1].node_id))
-        for _, node in candidates:
-            shortfall = needed_cpu - node.free(CPU_CORES)
-            movable = sorted(
-                (r for r in node.replicas if r.cpu_cores > 0),
-                key=lambda r: (r.cpu_cores < shortfall,  # prefer one-shot
-                               r.is_primary,             # secondaries first
-                               r.load(DISK_GB), r.replica_id))
+            movable = self._movable_replicas(node, shortfall)
             for replica in movable:
                 target = self._choose_target(replica, node)
                 if target is None:

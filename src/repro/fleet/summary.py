@@ -134,6 +134,7 @@ class FleetKpis:
     events_executed: int
 
 
+# totolint: merge-fn
 def merge_summaries(summaries: Sequence[ClusterSummary]) -> FleetKpis:
     """Fold cluster summaries into region KPIs, strictly in spec order.
 
@@ -190,6 +191,7 @@ def merge_summaries(summaries: Sequence[ClusterSummary]) -> FleetKpis:
     )
 
 
+# totolint: merge-fn
 def merge_frames(summaries: Sequence[ClusterSummary]) -> List[FleetFrame]:
     """Region-wide hourly series: per-hour sums across all clusters.
 
@@ -218,6 +220,7 @@ def merge_frames(summaries: Sequence[ClusterSummary]) -> List[FleetFrame]:
             for hour, bucket in sorted(hours.items())]
 
 
+# totolint: canonical-json
 def fleet_digest(summaries: Sequence[ClusterSummary]) -> str:
     """Canonical content hash of a fleet's summaries.
 

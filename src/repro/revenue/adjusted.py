@@ -116,24 +116,44 @@ def database_revenue(database: DatabaseInstance, now: int,
     )
 
 
+# totolint: merge-fn
 def adjusted_revenue_report(databases: List[DatabaseInstance], now: int,
                             prices: PriceCatalog = STANDARD_PRICES,
                             credits: ServiceCreditSchedule = DEFAULT_CREDITS,
                             naming: Optional[NamingService] = None
                             ) -> AdjustedRevenueReport:
-    """Roll up adjusted revenue over every database a run ever hosted."""
+    """Roll up adjusted revenue over every database a run ever hosted.
+
+    Registered merge helper (``merge-fn``): the roll-up is a strict
+    left-to-right fold over ``databases`` in creation (``db_id``)
+    order, so the report's float totals are bit-reproducible for a
+    given population — the single-cluster anchor of the fleet-level
+    determinism contract in :mod:`repro.fleet.summary`.
+    """
     rows = [database_revenue(db, now, prices, credits, naming)
             for db in databases]
-    gp_adjusted = sum(r.adjusted for r in rows
-                      if r.edition is Edition.STANDARD_GP)
-    bc_adjusted = sum(r.adjusted for r in rows
-                      if r.edition is Edition.PREMIUM_BC)
+    gross = 0.0
+    penalty = 0.0
+    adjusted = 0.0
+    gp_adjusted = 0.0
+    bc_adjusted = 0.0
+    penalized = 0
+    for row in rows:
+        gross += row.gross
+        penalty += row.penalty
+        adjusted += row.adjusted
+        if row.penalized:
+            penalized += 1
+        if row.edition is Edition.STANDARD_GP:
+            gp_adjusted += row.adjusted
+        elif row.edition is Edition.PREMIUM_BC:
+            bc_adjusted += row.adjusted
     return AdjustedRevenueReport(
         per_database=tuple(rows),
-        total_gross=sum(r.gross for r in rows),
-        total_penalty=sum(r.penalty for r in rows),
-        total_adjusted=sum(r.adjusted for r in rows),
-        penalized_databases=sum(1 for r in rows if r.penalized),
+        total_gross=gross,
+        total_penalty=penalty,
+        total_adjusted=adjusted,
+        penalized_databases=penalized,
         gp_adjusted=gp_adjusted,
         bc_adjusted=bc_adjusted,
     )

@@ -114,6 +114,16 @@ class Event:
                 f"label={self.label!r}{state})")
 
 
+def _live_entries(entries: List[Entry]) -> List[Entry]:
+    """A bucket's surviving entries: cancelled :class:`Event`s dropped.
+
+    Raw-callback entries are never cancellable, so they always survive.
+    """
+    return [entry for entry in entries
+            if entry.__class__ is not Event
+            or entry.callback is not None]  # type: ignore[union-attr]
+
+
 class EventQueue:
     """A calendar queue of :class:`Event` objects.
 
@@ -296,12 +306,10 @@ class EventQueue:
         emptied = []
         for time, entries in buckets.items():
             if time == front_time and self._front:
-                entries_view: List[Event] = entries[self._front:]
+                entries_view: List[Entry] = entries[self._front:]
             else:
                 entries_view = entries
-            live = [entry for entry in entries_view
-                    if entry.__class__ is not Event
-                    or entry.callback is not None]  # type: ignore[union-attr]
+            live = _live_entries(entries_view)
             if live:
                 entries[:] = live
                 size += len(live)

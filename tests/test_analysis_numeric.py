@@ -1,0 +1,656 @@
+"""The numeric-determinism tier (TL030..TL034) and the FloatSan sanitizer.
+
+Per-rule fired/silent fixture pairs over fleet-package fixture paths,
+the ``--select``/``--ignore`` tier split, the repo-wide numeric-clean
+invariant, FloatSan's wrapper semantics (spec-order audit, permuted
+replay, stale-registry detection, mock.patch-style installation), a
+seeded pairwise merge caught by *both* the static rule and the runtime
+sanitizer, and a Hypothesis property pinning the permutation
+invariance the registered helpers promise.
+"""
+
+import dataclasses
+import pathlib
+import random
+from io import StringIO
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    FloatSan,
+    get_rules,
+    lint_paths,
+    lint_source,
+    merge_registry,
+)
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_INTERNAL_ERROR,
+    EXIT_VIOLATIONS,
+    run_lint,
+)
+from repro.analysis.floatsan import (
+    MAX_REPLAYS,
+    SPEC_KEYS,
+    _first_divergence,
+    _result_bits,
+)
+from repro.analysis.numeric_rules import NUMERIC_TIER
+from repro.analysis.rules import all_rules
+from repro.fleet.summary import (
+    ClusterSummary,
+    FleetFrame,
+    fleet_digest,
+    merge_frames,
+    merge_summaries,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: Fixture path inside repro.fleet: the numeric rules' package fallback
+#: treats every node as on the merge/digest path when no program graph
+#: is built, mirroring how the perf tier uses repro.simkernel.
+FLEET = "src/repro/fleet/example.py"
+
+#: Sequential left-fold over these is 0.0; reversed it is 1.0 — float
+#: addition's non-associativity made deterministic enough to test.
+DIVERGENT = [1.0, 1e16, -1e16]
+
+
+def codes(report):
+    return [violation.rule for violation in report.violations]
+
+
+def write_tree(tmp_path, files):
+    root = tmp_path / "repro"
+    for relative, source in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def _summary(index, value, hours=2):
+    """A hand-built ClusterSummary with spec-ordered zero-padded name."""
+    frames = tuple(
+        FleetFrame(hour_index=hour, reserved_cores=value + hour,
+                   disk_gb=value * 2.0, active_databases=3,
+                   redirects_cumulative=hour,
+                   failover_count_cumulative=0)
+        for hour in range(hours))
+    return ClusterSummary(
+        name=f"fleet-x-{index:04d}", seed=1000 + index, density=1.0,
+        node_count=4, final_reserved_cores=value,
+        final_disk_gb=value * 2.0, core_utilization=0.5,
+        disk_utilization=0.25, creation_redirects=index,
+        databases_created=10, active_databases=9, failover_count=0,
+        failover_downtime_seconds=0.0, revenue_gross=value * 3.0,
+        revenue_penalty=value / 7.0, revenue_adjusted=value * 2.9,
+        penalized_databases=1, faults_injected=0,
+        events_executed=100 + index, frames=frames)
+
+
+class TestNumericTierRegistration:
+    def test_all_five_rules_registered_as_errors(self):
+        registered = {rule.code: rule for rule in all_rules()}
+        for code in NUMERIC_TIER:
+            assert code in registered
+            assert registered[code].level == "error"
+
+
+class TestTL030:
+    def test_sum_over_set_literal_fires(self):
+        report = lint_source(
+            "def collect(a, b):\n"
+            "    return sum({a, b})\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert codes(report) == ["TL030"]
+        assert "set literal" in report.violations[0].message
+
+    def test_sum_over_set_call_and_fsum_fire(self):
+        report = lint_source(
+            "import math\n"
+            "def collect(values, pool):\n"
+            "    a = sum(set(values))\n"
+            "    b = math.fsum(pool.values())\n"
+            "    return a + b\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert sorted(codes(report)) == ["TL030", "TL030"]
+
+    def test_generator_over_dict_view_fires(self):
+        report = lint_source(
+            "def collect(totals):\n"
+            "    return sum(value * 2 for value in totals.values())\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert codes(report) == ["TL030"]
+        assert ".values()" in report.violations[0].message
+
+    def test_loop_accumulation_over_dict_view_fires(self):
+        report = lint_source(
+            "def collect(totals):\n"
+            "    acc = 0.0\n"
+            "    for value in totals.values():\n"
+            "        acc += value\n"
+            "    return acc\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert codes(report) == ["TL030"]
+
+    def test_spec_ordered_sequences_are_silent(self):
+        report = lint_source(
+            "def collect(values, totals):\n"
+            "    a = sum(values)\n"
+            "    b = sum(sorted(totals.values()))\n"
+            "    for value in sorted(totals):\n"
+            "        a += totals[value]\n"
+            "    return a + b\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert codes(report) == []
+
+    def test_non_accumulating_loop_over_view_is_silent(self):
+        report = lint_source(
+            "def audit(totals):\n"
+            "    for value in totals.values():\n"
+            "        assert value >= 0\n",
+            path=FLEET, rules=get_rules(["TL030"]))
+        assert codes(report) == []
+
+
+class TestTL031:
+    def test_numpy_reduction_on_merge_path_fires(self):
+        report = lint_source(
+            "import numpy as np\n"
+            "def roll_up(series):\n"
+            "    return float(np.sum(series))\n",
+            path=FLEET, rules=get_rules(["TL031"]))
+        assert codes(report) == ["TL031"]
+        assert "np.sum" in report.violations[0].message
+
+    def test_registered_merge_body_is_tl034s_jurisdiction(self):
+        # Inside a `# totolint: merge-fn` span the numpy reduction is
+        # TL034's finding, not TL031's — one violation per cause.
+        report = lint_source(
+            "import numpy as np\n"
+            "# totolint: merge-fn\n"
+            "def merge_totals(parts):\n"
+            "    return float(np.sum(parts))\n",
+            path=FLEET, rules=get_rules(["TL031"]))
+        assert codes(report) == []
+
+    def test_in_shard_reduction_outside_scope_is_silent(self):
+        report = lint_source(
+            "import numpy as np\n"
+            "def shard_mean(samples):\n"
+            "    return float(np.mean(samples))\n",
+            path="src/repro/models/example.py",
+            rules=get_rules(["TL031"]))
+        assert codes(report) == []
+
+
+class TestTL032:
+    def test_float_equality_fires(self):
+        report = lint_source(
+            "def check(total):\n"
+            "    return total == 0.25\n",
+            path=FLEET, rules=get_rules(["TL032"]))
+        assert codes(report) == ["TL032"]
+        assert "isclose" in report.violations[0].message
+
+    def test_negative_float_inequality_fires(self):
+        report = lint_source(
+            "def check(delta):\n"
+            "    return delta != -1.5\n",
+            path=FLEET, rules=get_rules(["TL032"]))
+        assert codes(report) == ["TL032"]
+
+    def test_float_dict_key_and_set_member_fire(self):
+        report = lint_source(
+            "BUCKETS = {0.5: 'half'}\n"
+            "KNOWN = {1.5, 'label'}\n",
+            path=FLEET, rules=get_rules(["TL032"]))
+        assert sorted(codes(report)) == ["TL032", "TL032"]
+
+    def test_integer_keys_ordering_and_isclose_are_silent(self):
+        report = lint_source(
+            "import math\n"
+            "BUCKETS = {1: 'one'}\n"
+            "def check(total):\n"
+            "    return total <= 0.25 or math.isclose(total, 0.25)\n",
+            path=FLEET, rules=get_rules(["TL032"]))
+        assert codes(report) == []
+
+
+class TestTL033:
+    def test_str_call_in_export_feeder_fires(self):
+        report = lint_source(
+            "import json\n"
+            "def export(value):\n"
+            "    return json.dumps({'v': str(value)})\n",
+            path=FLEET, rules=get_rules(["TL033"]))
+        assert codes(report) == ["TL033"]
+        assert "`str(...)`" in report.violations[0].message
+
+    def test_float_fstring_in_export_feeder_fires(self):
+        report = lint_source(
+            "import json\n"
+            "def export(value):\n"
+            "    label = f'{value:.3f}'\n"
+            "    return json.dumps({'v': label})\n",
+            path=FLEET, rules=get_rules(["TL033"]))
+        assert codes(report) == ["TL033"]
+
+    def test_annotated_canonical_writer_is_exempt(self):
+        report = lint_source(
+            "import json\n"
+            "# totolint: canonical-json\n"
+            "def digest_payload(value):\n"
+            "    return json.dumps({'v': round(value, 6)})\n",
+            path=FLEET, rules=get_rules(["TL033"]))
+        assert codes(report) == []
+
+    def test_rendering_without_an_export_feed_is_silent(self):
+        report = lint_source(
+            "def label(value):\n"
+            "    return f'{value:.3f} cores'\n",
+            path=FLEET, rules=get_rules(["TL033"]))
+        assert codes(report) == []
+
+
+class TestTL034:
+    def test_reversed_fold_in_registered_merge_fires(self):
+        report = lint_source(
+            "# totolint: merge-fn\n"
+            "def merge_totals(parts):\n"
+            "    total = 0.0\n"
+            "    for part in reversed(parts):\n"
+            "        total += part\n"
+            "    return total\n",
+            path=FLEET, rules=get_rules(["TL034"]))
+        assert codes(report) == ["TL034"]
+        assert "reversed" in report.violations[0].message
+
+    def test_reduce_and_input_resort_fire(self):
+        report = lint_source(
+            "from functools import reduce\n"
+            "import operator\n"
+            "# totolint: merge-fn\n"
+            "def merge_totals(parts):\n"
+            "    return reduce(operator.add, sorted(parts))\n",
+            path=FLEET, rules=get_rules(["TL034"]))
+        assert sorted(codes(report)) == ["TL034", "TL034"]
+
+    def test_numpy_reduction_in_registered_merge_fires(self):
+        report = lint_source(
+            "import numpy as np\n"
+            "# totolint: merge-fn\n"
+            "def merge_totals(parts):\n"
+            "    return float(np.sum(parts))\n",
+            path=FLEET, rules=get_rules(["TL034"]))
+        assert codes(report) == ["TL034"]
+
+    def test_unregistered_kpi_accumulator_fires(self):
+        report = lint_source(
+            "from typing import Sequence\n"
+            "def roll_up(summaries: Sequence[ClusterSummary]):\n"
+            "    total = 0.0\n"
+            "    for summary in summaries:\n"
+            "        total += summary.revenue_adjusted\n"
+            "    return total\n",
+            path=FLEET, rules=get_rules(["TL034"]))
+        assert codes(report) == ["TL034"]
+        assert "merge-fn" in report.violations[0].message
+
+    def test_registered_left_fold_is_the_sanctioned_shape(self):
+        report = lint_source(
+            "from typing import Sequence\n"
+            "# totolint: merge-fn\n"
+            "def merge_kpis(summaries: Sequence[ClusterSummary]):\n"
+            "    total = 0.0\n"
+            "    for summary in summaries:\n"
+            "        total += summary.revenue_adjusted\n"
+            "    return total\n",
+            path=FLEET, rules=get_rules(["TL034"]))
+        assert codes(report) == []
+
+
+class TestSelectIgnore:
+    # A registered merge-fn keeps the fixture inside the inferred
+    # numeric scope when run_lint builds the program graph.
+    MERGE = ("# totolint: merge-fn\n"
+             "def merge_totals(parts):\n"
+             "    return sum(set(parts))\n")
+
+    def test_select_runs_only_the_numeric_tier(self, tmp_path):
+        root = write_tree(tmp_path, {"fleet/agg.py": self.MERGE})
+        out = StringIO()
+        exit_code = run_lint(paths=[root], select="TL030",
+                             stdout=out, stderr=StringIO())
+        assert exit_code == EXIT_VIOLATIONS
+        assert "TL030" in out.getvalue()
+
+    def test_ignore_subtracts_from_the_selection(self, tmp_path):
+        root = write_tree(tmp_path, {"fleet/agg.py": self.MERGE})
+        exit_code = run_lint(paths=[root], select="TL030,TL034",
+                             ignore="TL030",
+                             stdout=StringIO(), stderr=StringIO())
+        assert exit_code == EXIT_CLEAN
+
+    def test_ignore_composes_with_full_catalogue(self, tmp_path):
+        root = write_tree(tmp_path, {"fleet/agg.py": self.MERGE})
+        ignore = ",".join(NUMERIC_TIER)
+        exit_code = run_lint(paths=[root], ignore=ignore,
+                             stdout=StringIO(), stderr=StringIO())
+        assert exit_code == EXIT_CLEAN
+
+    def test_unknown_code_is_an_internal_error(self, tmp_path):
+        root = write_tree(tmp_path, {"fleet/agg.py": self.MERGE})
+        err = StringIO()
+        exit_code = run_lint(paths=[root], select="TL035",
+                             stdout=StringIO(), stderr=err)
+        assert exit_code == EXIT_INTERNAL_ERROR
+        assert "unknown rule" in err.getvalue()
+
+
+class TestRepoNumericState:
+    def test_repo_numeric_tier_is_clean_with_no_baseline(self):
+        # Unlike the perf tier's launch, the numeric tier ships with
+        # zero accepted findings — the ratchet starts (and stays) empty.
+        report = lint_paths([SRC], rules=get_rules(NUMERIC_TIER))
+        assert codes(report) == [], [
+            f"{v.path}:{v.line} {v.rule} {v.message}"
+            for v in report.violations]
+
+    def test_merge_registry_matches_the_annotated_helpers(self):
+        registry = merge_registry([SRC])
+        qualnames = sorted(qualname for _, qualname in registry)
+        assert qualnames == ["adjusted_revenue_report", "merge_frames",
+                             "merge_summaries"]
+        assert set(registry.values()) == {"ordered"}
+
+
+def _left_fold(values):
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+def _pairwise(values):
+    if len(values) == 1:
+        return values[0]
+    mid = len(values) // 2
+    return _pairwise(values[:mid]) + _pairwise(values[mid:])
+
+
+class _Operand:
+    def __init__(self, **attrs):
+        for key, value in attrs.items():
+            setattr(self, key, value)
+
+
+class TestResultBitsAndDivergence:
+    def test_equal_bits_iff_equal_reprs(self):
+        assert _result_bits(0.1 + 0.2) == _result_bits(0.1 + 0.2)
+        assert _result_bits(0.1 + 0.2) != _result_bits(0.3)
+
+    def test_first_divergence_walks_dataclass_fields(self):
+        a = _summary(0, 1.0)
+        b = dataclasses.replace(a, final_disk_gb=3.0)
+        path, left, right = _first_divergence(a, b)
+        assert path == "result.final_disk_gb"
+        assert (left, right) == (2.0, 3.0)
+
+    def test_first_divergence_indexes_sequences_and_dicts(self):
+        path, left, right = _first_divergence([1.0, 2.0], [1.0, 2.5])
+        assert path == "result[1]"
+        assert (left, right) == (2.0, 2.5)
+        path, left, right = _first_divergence({"a": 1.0}, {"a": 1.5})
+        assert path == "result['a']"
+
+
+class TestFloatSanOrderedWrapper:
+    def _wrapped(self, fn=_left_fold, sensitivity="ordered"):
+        sanitizer = FloatSan({})
+        return sanitizer, sanitizer._wrap("probe", sensitivity, fn)
+
+    def test_out_of_spec_order_is_reported_once_with_both_keys(self):
+        sanitizer, wrapped = self._wrapped(lambda ops: len(ops))
+        operands = [_Operand(name="fleet-x-0002"),
+                    _Operand(name="fleet-x-0000"),
+                    _Operand(name="fleet-x-0001")]
+        wrapped(operands)
+        assert len(sanitizer.order_violations) == 1
+        violation = sanitizer.order_violations[0]
+        assert violation.spec_key == "name"
+        assert violation.index == 1
+        assert violation.previous == "fleet-x-0002"
+        assert violation.current == "fleet-x-0000"
+        assert "spec order" in violation.format()
+
+    def test_spec_key_priority_is_hour_index_first(self):
+        assert SPEC_KEYS[0] == "hour_index"
+        sanitizer, wrapped = self._wrapped(lambda ops: len(ops))
+        # hour_index ascending wins even though name is descending.
+        wrapped([_Operand(hour_index=0, name="b"),
+                 _Operand(hour_index=1, name="a")])
+        assert sanitizer.order_violations == []
+        wrapped([_Operand(hour_index=1, name="a"),
+                 _Operand(hour_index=0, name="b")])
+        assert [v.spec_key for v in sanitizer.order_violations] \
+            == ["hour_index"]
+
+    def test_ordered_fn_is_never_reinvoked(self):
+        calls = []
+
+        def observed(values):
+            calls.append(list(values))
+            return _left_fold(values)
+
+        sanitizer, wrapped = self._wrapped(observed)
+        assert wrapped(DIVERGENT) == 0.0
+        assert len(calls) == 1
+        assert sanitizer.stats["probe"].replays == 0
+        assert sanitizer.divergences == []
+
+    def test_scalar_arguments_skip_the_order_audit(self):
+        sanitizer, wrapped = self._wrapped(lambda acc, item: acc + item,
+                                           sensitivity="ordered")
+        assert wrapped(1.0, 2.0) == 3.0
+        assert sanitizer.order_violations == []
+
+
+class TestFloatSanInsensitiveReplay:
+    def _wrapped(self, fn):
+        sanitizer = FloatSan({})
+        return sanitizer, sanitizer._wrap("probe", "insensitive", fn)
+
+    def test_order_sensitive_fold_declared_insensitive_diverges(self):
+        sanitizer, wrapped = self._wrapped(_left_fold)
+        assert wrapped(DIVERGENT) == 0.0
+        assert len(sanitizer.divergences) == 1
+        divergence = sanitizer.divergences[0]
+        assert divergence.qualname == "probe"
+        assert divergence.permutation == "reversed"
+        assert divergence.operands == 3
+        assert "order-sensitive" in divergence.format()
+
+    def test_truthful_insensitivity_claim_holds(self):
+        calls = []
+
+        def int_sum(values):
+            calls.append(list(values))
+            return sum(values)
+
+        sanitizer, wrapped = self._wrapped(int_sum)
+        assert wrapped([1, 2, 3]) == 6
+        # One real invocation plus the reversed and rotated replays.
+        assert len(calls) == 3
+        assert sanitizer.divergences == []
+        assert sanitizer.stats["probe"].replays == 1
+
+    def test_replays_are_capped(self):
+        sanitizer, wrapped = self._wrapped(lambda v: sum(v))
+        for _ in range(MAX_REPLAYS + 4):
+            wrapped([1, 2])
+        assert sanitizer.stats["probe"].replays == MAX_REPLAYS
+        assert sanitizer.stats["probe"].invocations == MAX_REPLAYS + 4
+
+
+class TestFloatSanReportShape:
+    def test_stale_registry_fails_loudly(self):
+        sanitizer = FloatSan({("src/x.py", "merge"): "ordered"})
+        sanitizer.patched = ["merge"]
+        report = sanitizer.report()
+        assert report.stale_registry
+        assert not report.ok
+        assert "STALE REGISTRY" in report.format()
+
+    def test_unpatchable_registry_is_not_stale(self):
+        # Nothing resolved, nothing patched: the report must not claim
+        # staleness it could never have observed.
+        report = FloatSan({}).report()
+        assert not report.stale_registry
+        assert report.ok
+        assert "OK" in report.format()
+
+    def test_violations_render_in_the_report(self):
+        sanitizer = FloatSan({})
+        wrapped = sanitizer._wrap("probe", "insensitive", _left_fold)
+        wrapped(DIVERGENT)
+        report = sanitizer.report()
+        assert not report.ok
+        formatted = report.format()
+        assert "DIVERGENCE" in formatted
+        assert "probe" in formatted
+
+
+class TestFloatSanInstallation:
+    def test_install_patches_direct_importers_and_restores(self):
+        import repro.fleet.runner as fleet_runner
+        import repro.fleet.summary as fleet_summary
+        original = fleet_summary.merge_summaries
+        summaries = [_summary(0, 1.25), _summary(1, 2.5)]
+        expected = merge_summaries(summaries)
+        sanitizer = FloatSan(merge_registry([SRC]))
+        sanitizer.install()
+        try:
+            # Direct importers (fleet.runner) hold the wrapper too, the
+            # property plain defining-module patching would miss.
+            assert fleet_summary.merge_summaries is not original
+            assert fleet_runner.merge_summaries \
+                is fleet_summary.merge_summaries
+            kpis = fleet_summary.merge_summaries(summaries)
+        finally:
+            sanitizer.uninstall()
+        assert fleet_summary.merge_summaries is original
+        assert fleet_runner.merge_summaries is original
+        assert kpis == expected
+        report = sanitizer.report()
+        assert report.ok, report.format()
+        assert "merge_summaries" in report.fired
+        assert report.invocations == 1
+
+    def test_out_of_spec_feed_through_patched_helper_fires(self):
+        import repro.fleet.summary as fleet_summary
+        sanitizer = FloatSan(merge_registry([SRC]))
+        sanitizer.install()
+        try:
+            fleet_summary.merge_summaries(
+                [_summary(1, 2.5), _summary(0, 1.25)])
+        finally:
+            sanitizer.uninstall()
+        report = sanitizer.report()
+        assert not report.ok
+        assert [v.spec_key for v in report.order_violations] == ["name"]
+        assert "ORDER VIOLATION" in report.format()
+
+    def test_install_is_idempotent_and_uninstall_is_safe_twice(self):
+        sanitizer = FloatSan(merge_registry([SRC]))
+        sanitizer.install()
+        patched = list(sanitizer.patched)
+        sanitizer.install()
+        assert sanitizer.patched == patched
+        sanitizer.uninstall()
+        sanitizer.uninstall()
+
+
+class TestFloatSanCli:
+    def test_run_parser_accepts_floatsan(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["run", "--floatsan"])
+        assert args.floatsan is True
+        args = build_parser().parse_args(["run"])
+        assert args.floatsan is False
+
+
+class TestSeededPairwiseMerge:
+    """One seeded bug, caught by both halves of the contract.
+
+    A tree-shaped (pairwise) merge changes float association, so it is
+    exactly what TL034 bans statically and what FloatSan's permuted
+    replay detects at runtime.
+    """
+
+    PAIRWISE = ("# totolint: merge-fn=insensitive\n"
+                "def merge_totals(parts):\n"
+                "    if len(parts) == 1:\n"
+                "        return parts[0]\n"
+                "    mid = len(parts) // 2\n"
+                "    return (merge_totals(parts[:mid])\n"
+                "            + merge_totals(parts[mid:]))\n")
+
+    def test_static_rule_flags_the_tree_merge(self):
+        report = lint_source(self.PAIRWISE, path=FLEET,
+                             rules=get_rules(["TL034"]))
+        assert codes(report) == ["TL034", "TL034"]
+        assert "self-recursion" in report.violations[0].message
+
+    def test_floatsan_replay_catches_the_same_bug(self):
+        sanitizer = FloatSan({})
+        wrapped = sanitizer._wrap("merge_totals", "insensitive",
+                                  _pairwise)
+        # Pairwise: 1.0 + (1e16 + -1e16) = 1.0; reversed the small
+        # operand is absorbed and the result collapses to 0.0.
+        assert wrapped(DIVERGENT) == 1.0
+        assert len(sanitizer.divergences) == 1
+        assert sanitizer.divergences[0].permutation == "reversed"
+
+
+class TestMergeOrderProperty:
+    """The invariant the registry exists to protect, stated directly:
+    feeding spec order makes the merge independent of completion order.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=-1e12, max_value=1e12,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_spec_ordered_merge_is_shard_permutation_invariant(
+            self, values, seed):
+        summaries = [_summary(index, value)
+                     for index, value in enumerate(values)]
+        shuffled = list(summaries)
+        random.Random(seed).shuffle(shuffled)
+        # What the parent does with completion-ordered worker results:
+        # restore spec order (the zero-padded name), then fold.
+        restored = sorted(shuffled, key=lambda summary: summary.name)
+        assert _result_bits(merge_summaries(restored)) \
+            == _result_bits(merge_summaries(summaries))
+        assert _result_bits(merge_frames(restored)) \
+            == _result_bits(merge_frames(summaries))
+        assert fleet_digest(restored) == fleet_digest(summaries)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_pairwise_association_breaks_the_invariant(self, seed):
+        # The counterexample the property would miss if the registered
+        # helpers folded pairwise: association alone changes the bits.
+        assert _left_fold(DIVERGENT) == 0.0
+        assert _pairwise(DIVERGENT) == 1.0
+        shuffled = list(DIVERGENT)
+        random.Random(seed).shuffle(shuffled)
+        assert _left_fold(sorted(shuffled)) \
+            == _left_fold(sorted(DIVERGENT))

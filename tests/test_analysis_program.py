@@ -360,6 +360,60 @@ class TestSarif:
         assert code == EXIT_CLEAN
         assert json.loads(out.getvalue())["version"] == "2.1.0"
 
+    def test_minimal_schema_holds_across_all_three_tiers(self, tmp_path):
+        # One firing fixture per tier, so the results array exercises
+        # ruleIndex lookups into every region of the catalogue.
+        root = write_tree(tmp_path, {
+            "simkernel/clock.py":
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n",
+            "simkernel/loop.py":
+                "def pump(events):\n"
+                "    for event in events:\n"
+                "        payload = [event.time]\n",
+            "fleet/agg.py":
+                "# totolint: merge-fn\n"
+                "def merge_totals(parts):\n"
+                "    return sum(set(parts))\n",
+        })
+        document = json.loads(format_sarif(lint_paths([root])))
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(document["runs"]) == 1
+        run = document["runs"][0]
+
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert len(rule_ids) == len(set(rule_ids))
+        # Every catalogue entry — all three tiers — carries the minimal
+        # descriptor code-scanning UIs require.
+        for tier_code in ("TL001", "TL014", "TL020", "TL024",
+                          "TL030", "TL034"):
+            assert tier_code in rule_ids
+        for rule in rules:
+            assert rule["name"]
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] \
+                in ("error", "warning")
+
+        results = run["results"]
+        fired = {result["ruleId"] for result in results}
+        assert "TL001" in fired  # determinism tier
+        assert "TL020" in fired  # perf tier
+        assert "TL030" in fired  # numeric tier
+        for result in results:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+            assert result["level"] \
+                == rules[index]["defaultConfiguration"]["level"]
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+
 
 class TestUnreadableInputExit2:
     """Satellite: invalid input must exit 2 with a clean one-liner."""

@@ -113,8 +113,10 @@ class TestStaticAnalysisDoc:
     def test_readme_mentions_the_runtime_half(self):
         assert "--detsan" in README
         assert "--perfsan" in README
+        assert "--floatsan" in README
         assert "TL001–TL014" in README
         assert "TL020–TL024" in README
+        assert "TL030–TL034" in README
 
     def test_documented_rule_ids_match_registered_ones(self):
         from repro.analysis import all_rules
@@ -130,19 +132,56 @@ class TestStaticAnalysisDoc:
         assert "--select" in self.DOC
         assert "--ignore" in self.DOC
 
-    def test_committed_baseline_is_valid_and_perf_tier_only(self):
+    def test_committed_baseline_is_valid_and_stays_burned_down(self):
+        # The perf-tier burn-down finished (PR 9); the ratchet starts
+        # clean, so any future entry is a deliberate, reviewed parking
+        # decision — and determinism findings must never be parked.
         import json
-        from repro.analysis.perf_rules import PERF_TIER
         payload = json.loads(
             (REPO / "totolint-baseline.json").read_text())
         assert payload["version"] == 1
-        assert payload["entries"], \
-            "the perf ratchet should hold the burn-down list"
-        for entry in payload["entries"]:
-            assert entry["rule"] in PERF_TIER, \
-                "determinism findings must be fixed, never parked"
-            assert not entry["path"].startswith("/"), \
-                "baseline paths must be repo-relative for CI portability"
+        assert payload["entries"] == [], \
+            "the ratchet was burned down to zero; fix findings instead " \
+            "of re-growing the baseline"
+
+
+class TestNumericDoc:
+    DOC = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+
+    def test_numeric_tier_and_floatsan_are_documented(self):
+        assert "--floatsan" in self.DOC
+        assert "FloatSan" in self.DOC
+        assert "merge-fn" in self.DOC
+        assert "canonical-json" in self.DOC
+        assert "merge-fn=insensitive" in self.DOC
+
+    def test_every_numeric_rule_has_a_section(self):
+        from repro.analysis.numeric_rules import NUMERIC_TIER
+        for code in NUMERIC_TIER:
+            assert f"### {code} — " in self.DOC, \
+                f"docs/STATIC_ANALYSIS.md has no section for {code}"
+
+    def test_doc_spec_keys_match_floatsan(self):
+        # The documented spec-order keys are FloatSan's actual probe
+        # order, not an approximation of it.
+        from repro.analysis.floatsan import SPEC_KEYS
+        for key in SPEC_KEYS:
+            assert f"`{key}`" in self.DOC, \
+                f"docs/STATIC_ANALYSIS.md misses spec key {key}"
+
+    def test_doc_kpi_aggregates_match_the_rule(self):
+        from repro.analysis.numeric_rules import _KPI_AGGREGATES
+        for name in _KPI_AGGREGATES:
+            assert name in self.DOC, \
+                f"docs/STATIC_ANALYSIS.md misses KPI aggregate {name}"
+
+    def test_annotated_merge_fns_exist_and_are_ordered(self):
+        from repro.analysis import merge_registry
+        registry = merge_registry([REPO / "src" / "repro"])
+        qualnames = {qualname for _, qualname in registry}
+        assert qualnames == {"merge_summaries", "merge_frames",
+                             "adjusted_revenue_report"}
+        assert set(registry.values()) == {"ordered"}
 
 
 class TestObsDoc:
