@@ -146,8 +146,15 @@ def run_checks(out_path: str, kernel_events: int) -> int:
 
     sweep_workers = sweep.get("workers")
     sweep_cores = sweep.get("effective_cores")
-    if (sweep_cores is not None and sweep_workers is not None
-            and sweep_cores < sweep_workers):
+    gate = sweep.get("gate")
+    if gate is None:
+        # Records written before the explicit gate field: re-derive the
+        # verdict the emitter would have recorded.
+        gate = ("skipped"
+                if (sweep_cores is not None and sweep_workers is not None
+                    and sweep_cores < sweep_workers)
+                else "active")
+    if gate == "skipped":
         # Same reasoning as the kernel gate's cross-machine skip: with
         # fewer cores than workers the wall ratio measures scheduler
         # noise, so on a 1-core CI runner it must not gate anything.
@@ -319,6 +326,10 @@ def bench_sweep(days: float, seeds: tuple, workers: int) -> dict:
         "speedup_note": ("cpu-bound: %d core(s) < %d workers"
                          % (effective_cores, workers)) if cpu_bound
                         else "parallel speedup over serial",
+        # The --check verdict, made explicit at measurement time so the
+        # committed record says *itself* whether its ratio gates
+        # anything; "skipped" = cpu-bound, the wall ratio is noise.
+        "gate": "skipped" if cpu_bound else "active",
         "measured_ratio": measured_ratio,
         "mode": executor.last_mode,
         "results_identical": identical,

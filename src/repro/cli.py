@@ -37,6 +37,7 @@ from repro.experiments.scenarios import (
     trained_artifacts,
 )
 from repro.core.model_xml import serialize_model_xml
+from repro.fabric.backend import backend_names
 from repro.units import HOUR, format_duration
 
 
@@ -115,7 +116,8 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = paper_scenario(density=args.density / 100.0,
                               days=args.hours / 24.0,
-                              seed=args.seed, maintenance=False)
+                              seed=args.seed, maintenance=False,
+                              backend=args.backend)
     if args.chaos:
         scenario = scenario.with_chaos(chaos_profile(args.chaos))
     obs_on = args.trace or args.metrics or args.profile
@@ -308,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(CHAOS_PROFILES),
                      help="fault-injection profile: "
                           + ", ".join(sorted(CHAOS_PROFILES)))
+    run.add_argument("--backend", default="annealing",
+                     choices=backend_names(),
+                     help="orchestrator backend placing and balancing "
+                          "replicas (default: %(default)s)")
     run.add_argument("--detsan", action="store_true",
                      help="run under the determinism sanitizer: execute "
                           "twice, cross-check the RNG/event ledgers and "

@@ -60,7 +60,8 @@ def paper_scenario(density: float = 1.0,
                    profile: RegionProfile = US_EAST_LIKE,
                    training_seed: int = DEFAULT_TRAINING_SEED,
                    maintenance: bool = True,
-                   population: Optional[InitialPopulationSpec] = None
+                   population: Optional[InitialPopulationSpec] = None,
+                   backend: str = "annealing"
                    ) -> BenchmarkScenario:
     """The §5.2 experiment at one density level.
 
@@ -74,12 +75,15 @@ def paper_scenario(density: float = 1.0,
         maintenance: simulate occasional cluster maintenance upgrades
             (the Figure 11 outliers).
         population: override the Table 2 initial population.
+        backend: orchestrator backend for the ring
+            (:func:`repro.fabric.backend.backend_names`).
     """
     artifacts = trained_artifacts(profile, training_seed)
     ring = TenantRingConfig(
         node_count=14,
         density=density,
         maintenance_interval_hours=40.0 if maintenance else 0.0,
+        backend=backend,
     )
     pct = int(round(density * 100))
     return BenchmarkScenario(

@@ -16,13 +16,24 @@ This package reproduces exactly those mechanics:
 * :mod:`repro.fabric.naming` — the Naming Service metastore that Toto
   uses both for model XML distribution and persisted disk loads;
 * :mod:`repro.fabric.annealing` — a small simulated-annealing search;
-* :mod:`repro.fabric.plb` — placement, balancing and capacity-violation
-  fixes (failovers);
+* :mod:`repro.fabric.backend` — the pluggable orchestrator-backend
+  protocol and registry (docs/ORCHESTRATORS.md);
+* :mod:`repro.fabric.plb` — the ``"annealing"`` backend: placement,
+  balancing and capacity-violation fixes (failovers);
+* :mod:`repro.fabric.k8s` — the ``"k8s"`` backend: a Kubernetes-style
+  requests/limits scheduler with priority preemption;
 * :mod:`repro.fabric.cluster` — the cluster facade tying it together.
 """
 
+from repro.fabric.backend import (
+    OrchestratorBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from repro.fabric.cluster import ServiceFabricCluster
 from repro.fabric.failover import FailoverRecord
+from repro.fabric.k8s import KubernetesBackend, ResourceSpec
 from repro.fabric.metrics import (
     CPU_CORES,
     DISK_GB,
@@ -39,11 +50,17 @@ __all__ = [
     "DISK_GB",
     "MEMORY_GB",
     "FailoverRecord",
+    "KubernetesBackend",
     "NamingService",
     "Node",
     "NodeCapacities",
+    "OrchestratorBackend",
     "PlacementAndLoadBalancer",
     "Replica",
     "ReplicaRole",
+    "ResourceSpec",
     "ServiceFabricCluster",
+    "backend_names",
+    "create_backend",
+    "register_backend",
 ]

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import FabricError, PlacementError, UnknownReplicaError
 from repro.fabric import colstore
+from repro.fabric.backend import create_backend
 from repro.fabric.failover import (
     REASON_NODE_FAILURE,
     FailoverRecord,
@@ -30,7 +31,7 @@ from repro.fabric.metrics import (
 )
 from repro.fabric.naming import NamingService
 from repro.fabric.node import Node, total_capacity, total_load
-from repro.fabric.plb import ClusterView, PlacementAndLoadBalancer
+from repro.fabric.plb import ClusterView
 from repro.fabric.replica import Replica, ReplicaRole
 
 FailoverListener = Callable[[FailoverRecord], None]
@@ -82,12 +83,18 @@ class ServiceFabricCluster(ClusterView):
             that care about stream isolation (the tenant ring) pass the
             named ``("failover", "downtime")`` substream so downtime
             sampling never perturbs placement decisions.
+        backend: registered orchestrator-backend name
+            (:func:`repro.fabric.backend.backend_names`). The default
+            ``"annealing"`` PLB reproduces the paper's control plane;
+            the attribute keeps its historical name ``plb`` whichever
+            backend is selected.
     """
 
     def __init__(self, node_count: int, capacities: NodeCapacities,
                  plb_rng: np.random.Generator,
                  use_annealing: bool = True,
-                 downtime_rng: np.random.Generator = None) -> None:
+                 downtime_rng: np.random.Generator = None,
+                 backend: str = "annealing") -> None:
         if node_count <= 0:
             raise FabricError(f"node_count must be positive, got {node_count}")
         self.nodes: List[Node] = [Node(node_id, capacities)
@@ -95,9 +102,9 @@ class ServiceFabricCluster(ClusterView):
         self.naming = NamingService()
         self._downtime_rng = downtime_rng if downtime_rng is not None \
             else plb_rng
-        self.plb = PlacementAndLoadBalancer(self.nodes, plb_rng,
-                                            use_annealing=use_annealing,
-                                            downtime_rng=downtime_rng)
+        self.plb = create_backend(backend, self.nodes, plb_rng,
+                                  use_annealing=use_annealing,
+                                  downtime_rng=downtime_rng)
         self._services: Dict[str, ServiceRecord] = {}
         #: Columnar replica-load backing (fleet-scale path); ``None``
         #: selects the classic per-replica dict state.
@@ -209,6 +216,10 @@ class ServiceFabricCluster(ClusterView):
             raise FabricError(f"replica_count must be >= 1, got {replica_count}")
         loads = dict(initial_loads)
         loads[CPU_CORES] = cpu_cores
+        # Replica-set sizing is the backend's call; both shipped
+        # backends honour the SLO's count (the admission and revenue
+        # models charged for exactly that many replicas).
+        replica_count = self.plb.replica_count_for(replica_count, loads)
         try:
             node_ids = self.plb.find_placement(service_id, replica_count,
                                                loads)
@@ -236,6 +247,10 @@ class ServiceFabricCluster(ClusterView):
             record.replicas.append(replica)
             self._replicas_by_id[replica.replica_id] = replica
         self._services[service_id] = record
+        # Naming-registration hook: a no-op for the annealing backend
+        # (the seed's metastore traffic is pinned byte for byte), an
+        # endpoints write for the Kubernetes-style one.
+        self.plb.register_service(self.naming, service_id, node_ids)
         return record
 
     def drop_service(self, service_id: str) -> ServiceRecord:
@@ -250,6 +265,7 @@ class ServiceFabricCluster(ClusterView):
                 store.release(replica.reported)
         del self._services[service_id]
         self._rebuilding_until.pop(service_id, None)
+        self.plb.unregister_service(self.naming, service_id)
         return record
 
     # ------------------------------------------------------------------
@@ -267,6 +283,26 @@ class ServiceFabricCluster(ClusterView):
         """Fix disk-capacity violations; returns this sweep's failovers."""
         self._retry_pending(now)
         records = self.plb.fix_violations(now, self, metric=DISK_GB)
+        self._record_moves(records)
+        return records
+
+    def bootstrap_spill(self, service_id: str, replica_count: int,
+                        cpu_cores: float, initial_loads: Dict[str, float],
+                        now: int) -> List[FailoverRecord]:
+        """Swap replicas between nodes to unwedge a bootstrap placement.
+
+        Called by the control plane only on the bootstrap path, after
+        ``create_service`` (including its make-room retry) has failed:
+        the backend swaps a disk-heavy replica off a CPU-rich node
+        against a disk-light one from a disk-rich node until the new
+        service fits (:meth:`OrchestratorBackend.bootstrap_spill`).
+        Returns the planned moves performed; the caller retries the
+        create.
+        """
+        loads = dict(initial_loads)
+        loads[CPU_CORES] = cpu_cores
+        records = self.plb.bootstrap_spill(now, service_id, replica_count,
+                                           loads, self)
         self._record_moves(records)
         return records
 

@@ -183,6 +183,21 @@ class ReplicaLoadStore:
         self._values[column, row] = 0.0
         return True
 
+    def update_row(self, row: int, columns: List[int],
+                   values: List[float]) -> List[float]:
+        """Bulk cell update: one fancy-indexed read + one write.
+
+        Returns the previous cell values (as built-in floats) in
+        ``columns`` order. Absent cells read as 0.0 — exactly what the
+        scalar path's ``get(metric, 0.0)`` returned, because cells are
+        zeroed on allocation and deletion — so the caller's aggregate
+        arithmetic is byte-identical to a per-metric loop.
+        """
+        old = self._values[columns, row]
+        self._values[columns, row] = values
+        self._present[columns, row] = True
+        return old.tolist()
+
     def row_items(self, row: int) -> Tuple[List[str], List[float]]:
         """Present metrics and their values, in column order."""
         metrics: List[str] = []
@@ -265,6 +280,25 @@ class ReplicaLoadView(MutableMapping):
             return list(self._detached.items())
         metrics, values = self._store.row_items(self._row)
         return list(zip(metrics, values))
+
+    def bulk_update(self, loads: Dict[str, float]) -> Optional[List[float]]:
+        """Set many metrics in one store round trip (the report sweep).
+
+        Returns the previous values in ``loads`` iteration order (0.0
+        for metrics that were absent), or ``None`` when the bulk path
+        does not apply — a detached view or a non-core metric — and the
+        caller must fall back to per-metric assignment.
+        """
+        if self._detached is not None:
+            return None
+        columns: List[int] = []
+        for metric in loads:
+            column = _COLUMN_OF.get(metric)
+            if column is None:
+                return None
+            columns.append(column)
+        return self._store.update_row(self._row, columns,
+                                      list(loads.values()))
 
     def __contains__(self, metric: object) -> bool:
         if self._detached is not None:

@@ -19,16 +19,11 @@ import numpy as np
 
 from repro.errors import PlacementError
 from repro.fabric.annealing import anneal
-from repro.fabric.failover import (
-    REASON_CAPACITY_VIOLATION,
-    REASON_MAKE_ROOM,
-    FailoverRecord,
-    failover_downtime,
-    rebuild_seconds,
-)
+from repro.fabric.backend import OrchestratorBackend, register_backend
+from repro.fabric.failover import REASON_MAKE_ROOM, FailoverRecord
 from repro.fabric.metrics import CPU_CORES, DISK_GB, MEMORY_GB
 from repro.fabric.node import Node
-from repro.fabric.replica import Replica, ReplicaRole
+from repro.fabric.replica import Replica
 
 #: Metrics that cannot be freed by moving CPU reservations; hoisted so
 #: the make-room scan does not rebuild the tuple per node (TL020).
@@ -63,8 +58,12 @@ class PlbStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-class PlacementAndLoadBalancer:
+class PlacementAndLoadBalancer(OrchestratorBackend):
     """Places replicas and fixes capacity violations by failing over.
+
+    The reference :class:`~repro.fabric.backend.OrchestratorBackend`:
+    simulated-annealing placement search as Service Fabric's PLB does
+    it (§5.2), registered as ``"annealing"``.
 
     Args:
         nodes: the cluster's nodes (shared, live objects).
@@ -79,6 +78,8 @@ class PlacementAndLoadBalancer:
             draw sequence — and therefore every placement — unchanged
             no matter how many downtime samples a run takes.
     """
+
+    name = "annealing"
 
     def __init__(self, nodes: Sequence[Node], rng: np.random.Generator,
                  use_annealing: bool = True,
@@ -177,13 +178,6 @@ class PlacementAndLoadBalancer:
             records.append(move)
         return records
 
-    def _feasible_nodes(self, service_id: str,
-                        loads: Dict[str, float]) -> List[Node]:
-        """Nodes that could host one more replica of the service."""
-        return [node for node in self._nodes
-                if self._fits(node, loads)
-                and not node.hosts_service(service_id)]
-
     def _blocked_by_unsheddable(self, node: Node,
                                 loads: Dict[str, float]) -> bool:
         """Whether disk/memory (not CPU) is what blocks this node."""
@@ -233,16 +227,6 @@ class PlacementAndLoadBalancer:
                 self.stats.make_room_moves += 1
                 return record
         return None
-
-    def _fits(self, node: Node, loads: Dict[str, float]) -> bool:
-        """Whether a replica with ``loads`` fits within node capacity."""
-        if not node.available:
-            return False
-        for metric in (CPU_CORES, DISK_GB, MEMORY_GB):
-            needed = loads.get(metric, 0.0)
-            if needed > 0 and node.free(metric) < needed:
-                return False
-        return True
 
     def _selection_energy(self, selection: Tuple[int, ...],
                           loads: Dict[str, float]) -> float:
@@ -348,60 +332,6 @@ class PlacementAndLoadBalancer:
                    key=lambda n: ((n.load(DISK_GB) + replica.load(DISK_GB))
                                   / n.capacities.disk_gb, n.node_id))
 
-    def _move(self, now: int, replica: Replica, source: Node, target: Node,
-              metric: str, cluster: "ClusterView",
-              reason: str = REASON_CAPACITY_VIOLATION) -> FailoverRecord:
-        """Execute the move and produce its record."""
-        replica_count = cluster.replica_count_of(replica.service_id)
-        downtime = failover_downtime(replica, replica_count,
-                                     self._downtime_rng,
-                                     planned=reason == REASON_MAKE_ROOM)
-        rebuild = rebuild_seconds(replica.load(DISK_GB), replica_count)
-        role_at_move = replica.role
-
-        # Rebuild-window vulnerability: while a previous move's replica
-        # rebuild is still copying data, the service has no fully built
-        # secondary. Forcing the *primary* out during that window means
-        # waiting for the rebuild to finish — minutes of unavailability
-        # instead of a quick promotion. This is what makes failover
-        # storms (many moves hitting the same services in a short span)
-        # so much more damaging than isolated failovers.
-        rebuilding_until = cluster.rebuilding_until(replica.service_id)
-        if (replica_count > 1 and role_at_move is ReplicaRole.PRIMARY
-                and rebuilding_until > now
-                and reason == REASON_CAPACITY_VIOLATION):
-            downtime = max(downtime,
-                           float(min(rebuilding_until - now, 3600)))
-        if replica_count > 1 and rebuild > 0:
-            cluster.set_rebuilding(replica.service_id,
-                                   int(now + rebuild))
-
-        source.detach(replica)
-        # A moved primary of a multi-replica service is demoted: one of
-        # the surviving secondaries is promoted in its place (§3.1).
-        if role_at_move is ReplicaRole.PRIMARY and replica_count > 1:
-            cluster.promote_new_primary(replica.service_id,
-                                        exclude_replica=replica.replica_id)
-            replica.role = ReplicaRole.SECONDARY
-        target.attach(replica)
-        self.stats.moves += 1
-
-        return FailoverRecord(
-            time=now,
-            service_id=replica.service_id,
-            replica_id=replica.replica_id,
-            role=role_at_move,
-            from_node=source.node_id,
-            to_node=target.node_id,
-            metric=metric,
-            cores_moved=replica.cpu_cores,
-            disk_moved_gb=replica.load(DISK_GB),
-            downtime_seconds=downtime,
-            rebuild_seconds=rebuild,
-            reason=reason,
-        )
-
-
 class ClusterView:
     """Protocol the PLB needs from the cluster facade.
 
@@ -423,3 +353,6 @@ class ClusterView:
 
     def set_rebuilding(self, service_id: str, until: int) -> None:
         raise NotImplementedError
+
+
+register_backend("annealing", PlacementAndLoadBalancer)

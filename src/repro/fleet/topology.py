@@ -54,6 +54,9 @@ class ClusterTemplate:
     #: Named fault-injection profile (docs/CHAOS.md) applied to every
     #: cluster; ``None`` runs the fleet undisturbed.
     chaos: Optional[str] = None
+    #: Orchestrator backend every cluster runs under
+    #: (:mod:`repro.fabric.backend`): ``"annealing"`` or ``"k8s"``.
+    backend: str = "annealing"
 
     def ring(self, density: Optional[float] = None) -> TenantRingConfig:
         return TenantRingConfig(
@@ -62,6 +65,7 @@ class ClusterTemplate:
             report_interval=self.report_interval,
             use_annealing=self.use_annealing,
             maintenance_interval_hours=40.0 if self.maintenance else 0.0,
+            backend=self.backend,
         )
 
     def resolved_population(self) -> InitialPopulationSpec:
@@ -69,11 +73,12 @@ class ClusterTemplate:
 
         The paper's Table 2 counts (187 GP + 33 BC) fill a 14-node
         ring; a template with more or fewer nodes scales both counts
-        proportionally. Rings scaled *up* bootstrap to an 88% core
+        proportionally. Rings scaled *up* bootstrap to a 90% core
         target rather than the paper's 94%: big-first packing of ~10k
-        databases across hundreds of nodes fragments enough that the
-        final 2-core tenants find no feasible node much above that
-        (0.90 still strands the tail on ~1 in 5 seeds). Small rings
+        databases across hundreds of nodes fragments more than a
+        14-node ring does, and 90% is where the bootstrap spill
+        (:meth:`repro.fabric.backend.OrchestratorBackend.bootstrap_spill`)
+        reliably unwedges the 2-core tail on every seed. Small rings
         keep the paper's target — the retune tolerance (±8 cores)
         dwarfs the difference there anyway.
         """
@@ -91,7 +96,7 @@ class ClusterTemplate:
         return InitialPopulationSpec(
             gp_count=max(1, int(default.gp_count * scale)),
             bc_count=max(1, int(default.bc_count * scale)),
-            target_core_fraction=0.88,
+            target_core_fraction=0.90,
         )
 
 

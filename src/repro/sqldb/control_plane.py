@@ -171,12 +171,37 @@ class ControlPlane:
                 cpu_cores=float(slo.cores), initial_loads=initial_loads,
                 now=now)
         except PlacementError as exc:
-            self._record_redirect(now, slo, free_cores,
-                                  reason="placement-infeasible")
-            raise AdmissionRejected(
-                f"no feasible placement for {slo_name}: {exc}",
-                required_cores=required_cores,
-                free_cores=int(free_cores)) from exc
+            # During bootstrap the population *must* land — a redirect
+            # here would silently shrink the Table 2 population the
+            # whole run is parameterized on. Big-first packing can
+            # wedge a wide ring (free cores and free disk end up on
+            # disjoint nodes), so ask the backend for a spill: swap
+            # replicas between nodes until the placement fits, then
+            # retry once. Steady-state creates keep redirecting — that
+            # is the §5.3.1 KPI.
+            placed = False
+            if from_bootstrap:
+                swaps = self._cluster.bootstrap_spill(
+                    service_id=db_id, replica_count=slo.replica_count,
+                    cpu_cores=float(slo.cores),
+                    initial_loads=initial_loads, now=now)
+                if swaps:
+                    try:
+                        self._cluster.create_service(
+                            service_id=db_id,
+                            replica_count=slo.replica_count,
+                            cpu_cores=float(slo.cores),
+                            initial_loads=initial_loads, now=now)
+                        placed = True
+                    except PlacementError:
+                        placed = False
+            if not placed:
+                self._record_redirect(now, slo, free_cores,
+                                      reason="placement-infeasible")
+                raise AdmissionRejected(
+                    f"no feasible placement for {slo_name}: {exc}",
+                    required_cores=required_cores,
+                    free_cores=int(free_cores)) from exc
 
         self._databases[db_id] = database
         self._active[db_id] = database

@@ -49,6 +49,9 @@ class TenantRingConfig:
     report_interval: int = DEFAULT_REPORT_INTERVAL
     start_weekday: int = 0
     use_annealing: bool = True
+    #: Orchestrator backend (:mod:`repro.fabric.backend`): the paper's
+    #: ``"annealing"`` PLB or the ``"k8s"`` scheduler.
+    backend: str = "annealing"
     #: Mean hours between simulated cluster maintenance upgrades;
     #: 0 disables them.
     maintenance_interval_hours: float = 0.0
@@ -86,6 +89,7 @@ class TenantRing:
             plb_rng=rng_registry.stream(plb_rng_name),  # totolint: substream=plb-*
             use_annealing=config.use_annealing,
             downtime_rng=rng_registry.stream("failover", "downtime"),
+            backend=config.backend,
         )
         self.control_plane = ControlPlane(self.cluster)
         self.rgmanagers: List[RgManager] = [

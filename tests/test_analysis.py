@@ -499,5 +499,16 @@ class TestRepoIsClean:
         # scenarios.py: trained_artifacts' memo is keyed by content and
         # training is pure, so the TL023 worker-cache hazard does not
         # apply (reviewed with the perf-tier burn-down).
-        assert suppressions == ["src/repro/experiments/scenarios.py"], \
-            suppressions
+        # backend.py / k8s.py: the bootstrap spill and the preemption
+        # scan build sort keys and scratch sequences; both run only
+        # after a placement has already failed (or a node violates
+        # capacity), never on the per-event hot path — TL020 flags them
+        # because make_room is transitively reachable from the report
+        # sweep (reviewed with the orchestrator-backend extraction).
+        assert suppressions == [
+            "src/repro/experiments/scenarios.py",
+            "src/repro/fabric/backend.py",
+            "src/repro/fabric/k8s.py",
+            "src/repro/fabric/k8s.py",
+            "src/repro/fabric/k8s.py",
+        ], suppressions

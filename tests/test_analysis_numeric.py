@@ -364,7 +364,8 @@ class TestRepoNumericState:
     def test_merge_registry_matches_the_annotated_helpers(self):
         registry = merge_registry([SRC])
         qualnames = sorted(qualname for _, qualname in registry)
-        assert qualnames == ["adjusted_revenue_report", "merge_frames",
+        assert qualnames == ["adjusted_revenue_report",
+                             "merge_backend_summaries", "merge_frames",
                              "merge_summaries"]
         assert set(registry.values()) == {"ordered"}
 

@@ -18,6 +18,7 @@ EXPERIMENTS = (REPO / "EXPERIMENTS.md").read_text()
 CHAOS_DOC = (REPO / "docs" / "CHAOS.md").read_text()
 OBS_DOC = (REPO / "docs" / "OBSERVABILITY.md").read_text()
 FLEET_DOC = (REPO / "docs" / "FLEET.md").read_text()
+ORCH_DOC = (REPO / "docs" / "ORCHESTRATORS.md").read_text()
 
 
 class TestExamples:
@@ -180,6 +181,7 @@ class TestNumericDoc:
         registry = merge_registry([REPO / "src" / "repro"])
         qualnames = {qualname for _, qualname in registry}
         assert qualnames == {"merge_summaries", "merge_frames",
+                             "merge_backend_summaries",
                              "adjusted_revenue_report"}
         assert set(registry.values()) == {"ordered"}
 
@@ -269,6 +271,57 @@ class TestFleetDoc:
         for field in dataclasses.fields(ClusterTemplate):
             assert f"`{field.name}`" in FLEET_DOC, \
                 f"docs/FLEET.md table misses template field {field.name}"
+
+
+class TestOrchestratorDoc:
+    def test_readme_and_experiments_cover_backends(self):
+        assert "docs/ORCHESTRATORS.md" in README
+        assert "--backend" in README
+        assert "docs/ORCHESTRATORS.md" in EXPERIMENTS
+        assert "BackendComparisonStudy" in EXPERIMENTS
+
+    def test_backend_api_names_documented(self):
+        for name in ("OrchestratorBackend", "backend_names",
+                     "create_backend", "register_backend",
+                     "KubernetesBackend", "ResourceSpec",
+                     "PlacementAndLoadBalancer", "bootstrap_spill",
+                     "BackendComparisonStudy", "backend_digest"):
+            assert name in ORCH_DOC, \
+                f"docs/ORCHESTRATORS.md does not mention {name}"
+
+    def test_every_registered_backend_documented(self):
+        from repro.fabric.backend import backend_names
+        for name in backend_names():
+            assert f"`{name}`" in ORCH_DOC, \
+                f"docs/ORCHESTRATORS.md does not document backend {name}"
+
+    def test_endpoints_prefix_matches_code(self):
+        from repro.fabric.k8s import ENDPOINTS_PREFIX
+        assert ENDPOINTS_PREFIX == "endpoints/"
+        assert "endpoints/" in ORCH_DOC
+
+    def test_cli_flag_documented_and_wired(self):
+        assert "--backend" in ORCH_DOC
+        cli_source = (REPO / "src" / "repro" / "cli.py").read_text()
+        assert '"--backend"' in cli_source
+
+    def test_comparison_metric_stems_match_code(self):
+        fleet_source = (REPO / "src" / "repro" / "experiments"
+                        / "fleet.py").read_text()
+        assert 'f"toto_backend_{backend}"' in fleet_source
+        assert "toto_backend_<name>_*" in ORCH_DOC
+        for suffix in ("_reserved_cores", "_failover_cores",
+                       "_adjusted_revenue", "_redirects_total",
+                       "_capacity_failovers_total"):
+            assert suffix in ORCH_DOC, \
+                f"docs/ORCHESTRATORS.md misses metric suffix {suffix}"
+
+    def test_conformance_suite_referenced(self):
+        assert "tests/test_backend_conformance.py" in ORCH_DOC
+        assert (REPO / "tests" / "test_backend_conformance.py").exists()
+
+    def test_fleet_doc_cross_references(self):
+        assert "docs/ORCHESTRATORS.md" in FLEET_DOC
 
 
 class TestDesignIndex:

@@ -66,6 +66,52 @@ class TestSweepRatioGate:
         assert run_checks(path, kernel_events=1) == 1
 
 
+class TestExplicitGateField:
+    """The committed record carries its own ``gate`` verdict."""
+
+    def test_emitter_records_skipped_when_cpu_bound(self, monkeypatch):
+        import benchmarks.emit_bench as emit_bench
+        monkeypatch.setattr(emit_bench.os, "cpu_count", lambda: 1)
+        sweep = emit_bench.bench_sweep(days=0.01, seeds=(42,), workers=4)
+        assert sweep["gate"] == "skipped"
+        assert sweep["speedup"] is None
+
+    def test_emitter_records_active_with_enough_cores(self, monkeypatch):
+        import benchmarks.emit_bench as emit_bench
+        monkeypatch.setattr(emit_bench.os, "cpu_count", lambda: 64)
+        sweep = emit_bench.bench_sweep(days=0.01, seeds=(42,), workers=1)
+        assert sweep["gate"] == "active"
+        assert sweep["speedup"] is not None
+
+    def test_check_honors_explicit_skipped_gate(self, tmp_path, capsys):
+        """An explicitly skipped record never trips the ratio gate,
+        even when the raw ratio looks like a regression."""
+        path = committed_record(tmp_path, sweep={
+            "results_identical": True, "workers": 4,
+            "effective_cores": 1, "speedup": None,
+            "gate": "skipped", "measured_ratio": 0.5})
+        assert run_checks(path, kernel_events=1) == 0
+        assert "sweep ratio gate SKIPPED" in capsys.readouterr().out
+
+    def test_check_honors_explicit_active_gate(self, tmp_path, capsys):
+        path = committed_record(tmp_path, sweep={
+            "results_identical": True, "workers": 4,
+            "effective_cores": 8, "speedup": 0.7,
+            "gate": "active", "measured_ratio": 0.7})
+        assert run_checks(path, kernel_events=1) == 1
+        assert "speedup 0.7 < 1.0" in capsys.readouterr().out
+
+    def test_committed_record_carries_the_gate_field(self):
+        """The repo's own BENCH_perf.json says whether its sweep ratio
+        gates anything — the skip is data, not an inference."""
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        committed = json.loads((root / "BENCH_perf.json").read_text())
+        assert committed["sweep"]["gate"] in ("skipped", "active")
+        if committed["sweep"]["speedup"] is None:
+            assert committed["sweep"]["gate"] == "skipped"
+
+
 class TestFleetGate:
     CONFIG = {"clusters": 1, "node_count": 4, "days": 0.05}
 

@@ -99,7 +99,7 @@ class TestColumnarObjectIdentity:
 
 _OPS = st.lists(
     st.tuples(st.sampled_from(["allocate", "set_cpu", "update", "delete",
-                               "extra", "release"]),
+                               "extra", "release", "bulk"]),
               st.integers(min_value=0, max_value=10**6),
               st.floats(min_value=0.0, max_value=1e6,
                         allow_nan=False, allow_infinity=False)),
@@ -155,6 +155,19 @@ class TestReplicaLoadStoreProperty:
                         del view[key]
                         del model[key]
                         gone.add(key)
+                elif kind == "bulk":
+                    # The report sweep's path: update every present
+                    # core metric in one store round trip. Old values
+                    # must come back exactly as scalar gets would.
+                    updates = {key: value + offset
+                               for offset, key in enumerate(model)
+                               if key in STORE_METRICS}
+                    expected_old = [model.get(key, 0.0) for key in updates]
+                    old = view.bulk_update(updates)
+                    model.update(updates)
+                    if view._detached is None and all(
+                            key in STORE_METRICS for key in updates):
+                        assert old == expected_old
                 elif kind == "extra":
                     key = f"custom_metric_{extra_serial}"
                     extra_serial += 1
